@@ -1,0 +1,94 @@
+// Command dimemas is the replay stage of the environment as a standalone
+// binary: it reads a trace file produced by tracegen, reconstructs the
+// execution on the configured platform, and reports runtime, per-rank time
+// breakdown and network statistics. Optionally it dumps the simulated
+// behaviour as a Paraver-style .prv file.
+//
+// Usage:
+//
+//	dimemas -trace traces/sweep3d-original.trc [platform flags] [-prv out.prv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overlapsim/internal/cliflag"
+	"overlapsim/internal/paraver"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/stats"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dimemas:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dimemas", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file to replay")
+	prvPath := fs.String("prv", "", "write the simulated behaviour as a .prv file")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	ts, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	res, err := replay.Simulate(ts, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace:    %s (%s), %d ranks\n", ts.Name, ts.Variant, ts.NRanks())
+	fmt.Printf("platform: %s\n", cfg)
+	fmt.Printf("runtime:  %v   (DES events: %d)\n\n", units.Duration(res.Total), res.Steps)
+
+	tb := stats.NewTable("rank", "finish", "compute", "send", "recv", "wait", "coll", "ovhd")
+	for _, r := range res.Ranks {
+		tb.AddRow(fmt.Sprint(r.Rank), units.Duration(r.Finish).String(),
+			r.Compute.String(), r.Send.String(), r.Recv.String(),
+			r.Wait.String(), r.Collective.String(), r.Overhead.String())
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	n := res.Network
+	fmt.Printf("\nnetwork: %d transfers (%d local), %v moved, bus occupancy %v (%.1f%% of %d buses), peak queue %d, %d collectives\n",
+		n.Transfers, n.LocalTransfers, n.Bytes, n.BusTime,
+		100*n.BusUtilization(cfg.Buses, res.Total), cfg.Buses, n.MaxPending, n.Collectives)
+
+	if *prvPath != "" {
+		out, err := os.Create(*prvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := paraver.WritePRV(out, res.Timelines); err != nil {
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *prvPath)
+	}
+	return nil
+}

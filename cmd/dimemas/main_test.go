@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+// writeTestTrace puts a tiny valid trace file in dir and returns its path.
+func writeTestTrace(t *testing.T, dir string) string {
+	t.Helper()
+	ts := trace.NewSet("unit", "original", 2, 1000)
+	ts.Traces[0].Append(trace.Burst(1000), trace.Send(1, 0, units.Bytes(512)))
+	ts.Traces[1].Append(trace.Recv(0, 0, units.Bytes(512)), trace.Burst(2000))
+	path := filepath.Join(dir, "unit.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReplaysTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir)
+	prv := filepath.Join(dir, "out.prv")
+	if err := run([]string{"-trace", path, "-bw", "100MB/s", "-prv", prv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prv)
+	if err != nil {
+		t.Fatalf("prv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "#Paraver") {
+		t.Errorf("prv content = %q", string(data[:40]))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-trace is required") {
+		t.Errorf("missing -trace: got %v", err)
+	}
+	if err := run([]string{"-trace", "/nonexistent/file.trc"}); err == nil {
+		t.Error("missing file: expected error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trc")
+	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad}); err == nil {
+		t.Error("malformed trace: expected error")
+	}
+	path := writeTestTrace(t, dir)
+	if err := run([]string{"-trace", path, "-bw", "sideways"}); err == nil {
+		t.Error("bad bandwidth flag: expected error")
+	}
+}

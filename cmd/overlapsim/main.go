@@ -1,0 +1,174 @@
+// Command overlapsim runs the simulation environment: it lists the bundled
+// applications and experiments, regenerates the paper's evaluation, and
+// runs one-off overlap studies.
+//
+// Usage:
+//
+//	overlapsim list
+//	overlapsim run <experiment-id>|all [-quick] [platform flags]
+//	overlapsim study -app <name> [-ranks N -size N -iters N -chunks N]
+//	                 [-pattern real|linear] [-width N] [platform flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overlapsim"
+	"overlapsim/internal/apps"
+	"overlapsim/internal/cliflag"
+	"overlapsim/internal/experiment"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "run":
+		err = runExperiments(os.Args[2:])
+	case "study":
+		err = runStudy(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "overlapsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overlapsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  overlapsim list                                 list applications and experiments
+  overlapsim run <id>|all [-quick] [flags]        regenerate the paper's evaluation
+  overlapsim study -app <name> [flags]            one-off overlap study with visualization`)
+}
+
+func runList() error {
+	fmt.Println("applications:")
+	tb := stats.NewTable("name", "ranks", "size", "iters", "description")
+	for _, name := range apps.Names() {
+		s, err := apps.Lookup(name)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(s.Name, fmt.Sprint(s.Default.Ranks), fmt.Sprint(s.Default.Size),
+			fmt.Sprint(s.Default.Iterations), s.Description)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nexperiments:")
+	te := stats.NewTable("id", "title")
+	for _, d := range experiment.All {
+		te.AddRow(d.ID, d.Title)
+	}
+	return te.Render(os.Stdout)
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use small workloads for a fast pass")
+	chunks := fs.Int("chunks", 8, "partial-message granularity")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run wants exactly one experiment id or \"all\"")
+	}
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	suite := experiment.NewSuite()
+	suite.Machine = cfg
+	suite.Quick = *quick
+	suite.Chunks = *chunks
+
+	ids := []string{fs.Arg(0)}
+	if fs.Arg(0) == "all" {
+		ids = ids[:0]
+		for _, d := range experiment.All {
+			ids = append(ids, d.ID)
+		}
+	}
+	for _, id := range ids {
+		d, err := experiment.Find(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s: %s ====\n", d.ID, d.Title)
+		if err := d.Run(suite, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runStudy(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	appName := fs.String("app", "sweep3d", "application to study")
+	ranks := fs.Int("ranks", 0, "rank count (0 = app default)")
+	size := fs.Int("size", 0, "problem size (0 = app default)")
+	iters := fs.Int("iters", 0, "iterations (0 = app default)")
+	chunks := fs.Int("chunks", 8, "partial-message granularity")
+	pattern := fs.String("pattern", "linear", "computation pattern: real or linear")
+	width := fs.Int("width", 100, "gantt width in columns")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	var pat overlap.Pattern
+	switch *pattern {
+	case "real":
+		pat = overlap.PatternReal
+	case "linear":
+		pat = overlap.PatternLinear
+	default:
+		return fmt.Errorf("unknown pattern %q (want real or linear)", *pattern)
+	}
+
+	app, err := overlapsim.NewApp(*appName, overlapsim.AppConfig{Ranks: *ranks, Size: *size, Iterations: *iters})
+	if err != nil {
+		return err
+	}
+	env := overlapsim.NewEnvironment()
+	env.Machine = cfg
+	env.Chunks = *chunks
+	fmt.Printf("tracing %s (%d ranks) ...\n", *appName, app.Ranks())
+	study, err := env.Trace(app)
+	if err != nil {
+		return err
+	}
+	cmp, err := study.Compare(cfg, overlapsim.TransformOptions{
+		Mechanisms: overlapsim.BothMechanisms, Pattern: pat})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform: %s\n", cfg)
+	fmt.Printf("automatic overlap (%s pattern): %.2fx speedup (%+.1f%%)\n\n",
+		pat, cmp.Speedup(), stats.PercentGain(cmp.Speedup()))
+	if err := cmp.RenderGantt(os.Stdout, *width); err != nil {
+		return err
+	}
+	fmt.Println()
+	return cmp.WriteSummaries(os.Stdout)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := runList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	if err := runExperiments([]string{"-quick", "e2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentErrors(t *testing.T) {
+	if err := runExperiments([]string{}); err == nil {
+		t.Error("no id: expected error")
+	}
+	if err := runExperiments([]string{"zz"}); err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Errorf("unknown id: got %v", err)
+	}
+	if err := runExperiments([]string{"-bw", "sideways", "e2"}); err == nil {
+		t.Error("bad machine flag: expected error")
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	err := runStudy([]string{
+		"-app", "pingpong", "-ranks", "2", "-size", "128", "-iters", "1",
+		"-pattern", "real", "-width", "40",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStudyErrors(t *testing.T) {
+	if err := runStudy([]string{"-app", "nope"}); err == nil {
+		t.Error("unknown app: expected error")
+	}
+	if err := runStudy([]string{"-app", "pingpong", "-pattern", "diagonal"}); err == nil {
+		t.Error("unknown pattern: expected error")
+	}
+}

@@ -1,0 +1,97 @@
+// Command paraview is the visualization stage of the environment as a
+// standalone binary: it replays one or two trace files on the configured
+// platform and renders their time behaviour as an ASCII Gantt chart — with
+// two traces, side by side on a shared time scale, the comparison the paper
+// uses to study the overlap mechanism qualitatively.
+//
+// Usage:
+//
+//	paraview -trace sweep3d-original.trc [-compare sweep3d-linear-both.trc]
+//	         [-width N] [platform flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overlapsim/internal/cliflag"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/paraver"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/timeline"
+	"overlapsim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paraview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paraview", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file to visualize")
+	comparePath := fs.String("compare", "", "second trace file for side-by-side comparison")
+	width := fs.Int("width", 100, "gantt width in columns")
+	summary := fs.Bool("summary", true, "print per-rank state profiles")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	first, err := simulateFile(*tracePath, cfg)
+	if err != nil {
+		return err
+	}
+	opts := paraver.GanttOptions{Width: *width, Legend: true}
+	if *comparePath == "" {
+		if err := paraver.RenderGantt(os.Stdout, first, opts); err != nil {
+			return err
+		}
+		if *summary {
+			fmt.Println()
+			return paraver.WriteSummary(os.Stdout, paraver.Summarize(first))
+		}
+		return nil
+	}
+	second, err := simulateFile(*comparePath, cfg)
+	if err != nil {
+		return err
+	}
+	if err := paraver.RenderComparison(os.Stdout, first, second, opts); err != nil {
+		return err
+	}
+	if *summary {
+		fmt.Println()
+		if err := paraver.WriteSummary(os.Stdout, paraver.Summarize(first)); err != nil {
+			return err
+		}
+		return paraver.WriteSummary(os.Stdout, paraver.Summarize(second))
+	}
+	return nil
+}
+
+func simulateFile(path string, cfg machine.Config) (*timeline.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	res, err := replay.Simulate(ts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Timelines, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+func writeTestTrace(t *testing.T, dir, variant string) string {
+	t.Helper()
+	ts := trace.NewSet("unit", variant, 2, 1000)
+	ts.Traces[0].Append(trace.Burst(1000), trace.Send(1, 0, units.Bytes(512)))
+	ts.Traces[1].Append(trace.Recv(0, 0, units.Bytes(512)), trace.Burst(2000))
+	path := filepath.Join(dir, variant+".trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestTrace(t, dir, "original")
+	if err := run([]string{"-trace", path, "-width", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTestTrace(t, dir, "original")
+	b := writeTestTrace(t, dir, "overlap")
+	if err := run([]string{"-trace", a, "-compare", b, "-width", "40", "-summary=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-trace is required") {
+		t.Errorf("missing -trace: got %v", err)
+	}
+	if err := run([]string{"-trace", "/nonexistent.trc"}); err == nil {
+		t.Error("missing file: expected error")
+	}
+	dir := t.TempDir()
+	a := writeTestTrace(t, dir, "original")
+	if err := run([]string{"-trace", a, "-compare", "/nonexistent.trc"}); err == nil {
+		t.Error("missing compare file: expected error")
+	}
+}

@@ -1,0 +1,121 @@
+// Command tracegen is the tracing-tool stage of the environment as a
+// standalone binary: it executes a bundled application once under
+// instrumentation and writes the original (non-overlapped) trace plus the
+// requested overlapped (potential) traces as text files, ready for the
+// dimemas and paraview tools.
+//
+// Usage:
+//
+//	tracegen -app sweep3d -out traces/ [-ranks N -size N -iters N -chunks N]
+//	         [-variants original,linear-both,real-both,linear-earlysend,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"overlapsim/internal/apps"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
+	appName := fs.String("app", "", "application to trace (see overlapsim list)")
+	ranks := fs.Int("ranks", 0, "rank count (0 = app default)")
+	size := fs.Int("size", 0, "problem size (0 = app default)")
+	iters := fs.Int("iters", 0, "iterations (0 = app default)")
+	chunks := fs.Int("chunks", 8, "partial-message granularity")
+	out := fs.String("out", ".", "output directory")
+	variants := fs.String("variants", "original,linear-both,real-both",
+		"comma-separated: original, <pattern>-<mechanism> with pattern in {real,linear} and mechanism in {both,earlysend,laterecv,none}")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appName == "" {
+		return fmt.Errorf("-app is required")
+	}
+	app, err := apps.New(*appName, apps.Config{Ranks: *ranks, Size: *size, Iterations: *iters})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracing %s (%d ranks)...\n", *appName, app.Ranks())
+	ps, err := tracer.Trace(app, tracer.Options{Chunks: *chunks})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, v := range strings.Split(*variants, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		ts, err := variantSet(ps, v)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s-%s.trc", *appName, v))
+		if err := writeSet(path, ts); err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", path)
+	}
+	return nil
+}
+
+func variantSet(ps *overlap.ProfiledSet, v string) (*trace.Set, error) {
+	if v == "original" {
+		return ps.Original, nil
+	}
+	pattern, mech, ok := strings.Cut(v, "-")
+	if !ok {
+		return nil, fmt.Errorf("bad variant %q (want original or <pattern>-<mechanism>)", v)
+	}
+	opts := overlap.Options{}
+	switch pattern {
+	case "real":
+		opts.Pattern = overlap.PatternReal
+	case "linear":
+		opts.Pattern = overlap.PatternLinear
+	default:
+		return nil, fmt.Errorf("bad pattern %q in variant %q", pattern, v)
+	}
+	switch mech {
+	case "both":
+		opts.Mechanisms = overlap.BothMechanisms
+	case "earlysend":
+		opts.Mechanisms = overlap.EarlySend
+	case "laterecv":
+		opts.Mechanisms = overlap.LateRecv
+	case "none":
+		opts.Mechanisms = 0
+	default:
+		return nil, fmt.Errorf("bad mechanism %q in variant %q", mech, v)
+	}
+	return overlap.Transform(ps, opts)
+}
+
+func writeSet(path string, ts *trace.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, ts); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/trace"
+)
+
+func TestRunWritesVariantFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-app", "pingpong", "-ranks", "2", "-size", "128", "-iters", "1",
+		"-chunks", "4", "-out", dir,
+		"-variants", "original,linear-both,real-laterecv,linear-none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"pingpong-original.trc",
+		"pingpong-linear-both.trc",
+		"pingpong-real-laterecv.trc",
+		"pingpong-linear-none.trc",
+	} {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		ts, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s unreadable: %v", name, err)
+		}
+		if err := trace.Validate(ts); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no app", []string{"-out", t.TempDir()}, "-app is required"},
+		{"unknown app", []string{"-app", "nope", "-out", t.TempDir()}, "unknown application"},
+		{"bad variant", []string{"-app", "pingpong", "-out", t.TempDir(), "-variants", "sideways"}, "bad variant"},
+		{"bad pattern", []string{"-app", "pingpong", "-out", t.TempDir(), "-variants", "diagonal-both"}, "bad pattern"},
+		{"bad mechanism", []string{"-app", "pingpong", "-out", t.TempDir(), "-variants", "linear-never"}, "bad mechanism"},
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Bandwidthsweep regenerates the shape behind the paper's findings 2 and 3
+// for one application: the overlap speedup across six decades of network
+// bandwidth (peaking in the intermediate regime) and the iso-performance
+// point showing how much bandwidth overlap saves at the high end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"overlapsim"
+	"overlapsim/internal/experiment"
+	"overlapsim/internal/units"
+)
+
+func main() {
+	appName := flag.String("app", "sweep3d", "application to sweep")
+	flag.Parse()
+
+	suite := experiment.NewSuite()
+	pl, err := experiment.NewPipeline(*appName, suite.AppConfig(*appName), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: ideal-pattern automatic-overlap speedup vs bandwidth\n\n", *appName)
+	opts := overlapsim.IdealOverlap()
+	for bw := units.Bandwidth(units.MBPerSec); bw <= 64*units.GBPerSec; bw *= 4 {
+		sp, err := pl.Speedup(suite.Machine.WithBandwidth(bw), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int((sp-1)*40))
+		fmt.Printf("%10s  %5.2fx  %s\n", bw, sp, bar)
+	}
+
+	ref := 32 * units.GBPerSec
+	iso, ok, err := pl.IsoBandwidth(suite.Machine, ref, opts, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("\nto match the original execution at %s, the overlapped execution needs only %s (%.0fx less)\n",
+			ref, iso, float64(ref)/float64(iso))
+	} else {
+		fmt.Printf("\nthe overlapped execution cannot match the original at %s on this platform\n", ref)
+	}
+}

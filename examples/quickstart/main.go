@@ -1,0 +1,48 @@
+// Quickstart: trace one application, replay it with and without automatic
+// overlap, and print the speedup — the minimal end-to-end use of the
+// environment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"overlapsim"
+)
+
+func main() {
+	// The environment bundles the three stages of the paper's Fig. 1:
+	// tracing tool, Dimemas-like replayer, Paraver-like visualization.
+	env := overlapsim.NewEnvironment()
+
+	// Any bundled application works; pingpong is the smallest.
+	app, err := overlapsim.NewApp("pingpong", overlapsim.AppConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One instrumented run extracts the original trace and the measured
+	// production/consumption patterns.
+	study, err := env.Trace(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the original and the fully-overlapped execution (ideal
+	// sequential pattern) on the same platform.
+	cmp, err := study.Compare(env.Machine, overlapsim.IdealOverlap())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application:  %s\n", study.Original().Name)
+	fmt.Printf("platform:     %s\n", env.Machine)
+	fmt.Printf("original:     %v\n", overlapsim.Duration(cmp.Original.Total))
+	fmt.Printf("overlapped:   %v\n", overlapsim.Duration(cmp.Overlapped.Total))
+	fmt.Printf("speedup:      %.2fx\n\n", cmp.Speedup())
+
+	// And inspect both time behaviours qualitatively.
+	if err := cmp.RenderGantt(os.Stdout, 80); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package apps provides the application workloads the environment studies:
+// executable proxies for the six applications of the paper's evaluation
+// (NAS-BT, NAS-CG, POP, Alya, SPECFEM and Sweep3D) plus micro-kernels.
+//
+// Each proxy really runs: it allocates tracked buffers, computes on them
+// element by element, and communicates through the instrumented runtime, so
+// the tracing tool *measures* production/consumption patterns rather than
+// assuming them. The proxies reproduce the communication topology,
+// comm/compute balance and — crucially — the access-pattern shapes of the
+// originals: computation phases that rewrite outgoing boundary data at the
+// end of the burst (late production) and consume incoming data early in the
+// following burst, the pattern the paper identifies as the limiter of
+// automatic overlap in legacy codes.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/tracer"
+)
+
+// Config sizes a workload.
+type Config struct {
+	// Ranks is the number of MPI processes. Each app documents its
+	// constraint (power of two, perfect square, exactly two, ...).
+	Ranks int
+	// Size is the per-rank problem size (elements per dimension for grid
+	// codes, vector length for CG-like codes).
+	Size int
+	// Iterations is the number of outer time steps.
+	Iterations int
+}
+
+func (c Config) validatePositive() error {
+	if c.Ranks <= 0 || c.Size <= 0 || c.Iterations <= 0 {
+		return fmt.Errorf("apps: config fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Spec describes a registered application.
+type Spec struct {
+	Name        string
+	Description string
+	Default     Config
+	New         func(Config) (tracer.App, error)
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("apps: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Names returns the registered application names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperApps returns the six applications of the paper's evaluation, in the
+// order the paper lists them.
+func PaperApps() []string {
+	return []string{"bt", "cg", "pop", "alya", "specfem", "sweep3d"}
+}
+
+// Lookup returns the spec for a registered application.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// New instantiates a registered application; a zero-value config uses the
+// app's default, and zero fields inherit from the default individually.
+func New(name string, cfg Config) (tracer.App, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = s.Default.Ranks
+	}
+	if cfg.Size == 0 {
+		cfg.Size = s.Default.Size
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = s.Default.Iterations
+	}
+	return s.New(cfg)
+}
+
+// ---- shared kernel helpers ----------------------------------------------
+
+// produceSeq writes buf[lo:hi) sequentially, charging cost instructions per
+// element: the canonical linear production sweep.
+func produceSeq(p *tracer.Proc, buf *memory.Buffer, lo, hi int, cost int64, seed float64) {
+	for i := lo; i < hi; i++ {
+		p.Compute(cost)
+		buf.Store(i, seed+float64(i)*0.5)
+	}
+}
+
+// rewriteSeq re-writes buf[lo:hi) from existing values, used for the
+// late fix-up passes (boundary conditions, normalization) that push the
+// production points of outgoing data to the end of the burst.
+func rewriteSeq(p *tracer.Proc, buf *memory.Buffer, lo, hi int, cost int64) {
+	for i := lo; i < hi; i++ {
+		p.Compute(cost)
+		buf.Store(i, 0.25*buf.Load(i)+1.0)
+	}
+}
+
+// consumeSeq reads buf[lo:hi) sequentially and returns an accumulation.
+func consumeSeq(p *tracer.Proc, buf *memory.Buffer, lo, hi int, cost int64) float64 {
+	var acc float64
+	for i := lo; i < hi; i++ {
+		p.Compute(cost)
+		acc += buf.Load(i)
+	}
+	return acc
+}
+
+// region designates a slice of a tracked buffer.
+type region struct {
+	buf    *memory.Buffer
+	lo, hi int
+}
+
+// consumeInterleaved reads several regions round-robin, the "scattered,
+// everything needed early" consumption shape of assembly/stencil phases.
+func consumeInterleaved(p *tracer.Proc, cost int64, regs ...region) float64 {
+	var acc float64
+	maxLen := 0
+	for _, r := range regs {
+		if n := r.hi - r.lo; n > maxLen {
+			maxLen = n
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, r := range regs {
+			if r.lo+i < r.hi {
+				p.Compute(cost)
+				acc += r.buf.Load(r.lo + i)
+			}
+		}
+	}
+	return acc
+}
+
+// grid2D returns the process-grid dimensions for n ranks: the most square
+// px*py = n factorization with px <= py.
+func grid2D(n int) (px, py int) {
+	px = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			px = d
+		}
+	}
+	return px, n / px
+}
+
+// ---- micro-kernels -------------------------------------------------------
+
+func init() {
+	register(Spec{
+		Name:        "pingpong",
+		Description: "two ranks exchanging one message per iteration; the minimal pipeline demo",
+		Default:     Config{Ranks: 2, Size: 4096, Iterations: 4},
+		New:         newPingPong,
+	})
+	register(Spec{
+		Name:        "ring",
+		Description: "each rank passes a block to its right neighbour every iteration",
+		Default:     Config{Ranks: 8, Size: 2048, Iterations: 4},
+		New:         newRing,
+	})
+	register(Spec{
+		Name:        "halo2d",
+		Description: "4-neighbour halo exchange on a 2D process grid with a stencil sweep",
+		Default:     Config{Ranks: 16, Size: 64, Iterations: 4},
+		New:         newHalo2D,
+	})
+}
+
+type pingPong struct{ cfg Config }
+
+func newPingPong(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks != 2 {
+		return nil, fmt.Errorf("apps: pingpong needs exactly 2 ranks, got %d", cfg.Ranks)
+	}
+	return &pingPong{cfg: cfg}, nil
+}
+
+func (a *pingPong) Name() string { return "pingpong" }
+func (a *pingPong) Ranks() int   { return 2 }
+
+func (a *pingPong) Run(p *tracer.Proc) error {
+	n := a.cfg.Size
+	buf := p.NewBuffer("payload", n)
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("iter %d", iter))
+		if p.Rank() == 0 {
+			produceSeq(p, buf, 0, n, 4, float64(iter))
+			if err := p.Send(buf, 0, n, 1, iter); err != nil {
+				return err
+			}
+			if err := p.Recv(buf, 0, n, 1, iter); err != nil {
+				return err
+			}
+			consumeSeq(p, buf, 0, n, 4)
+		} else {
+			if err := p.Recv(buf, 0, n, 0, iter); err != nil {
+				return err
+			}
+			consumeSeq(p, buf, 0, n, 2)
+			produceSeq(p, buf, 0, n, 2, float64(iter))
+			if err := p.Send(buf, 0, n, 0, iter); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type ring struct{ cfg Config }
+
+func newRing(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("apps: ring needs at least 2 ranks, got %d", cfg.Ranks)
+	}
+	return &ring{cfg: cfg}, nil
+}
+
+func (a *ring) Name() string { return "ring" }
+func (a *ring) Ranks() int   { return a.cfg.Ranks }
+
+func (a *ring) Run(p *tracer.Proc) error {
+	n := a.cfg.Size
+	out := p.NewBuffer("out", n)
+	in := p.NewBuffer("in", n)
+	next := (p.Rank() + 1) % p.Size()
+	prev := (p.Rank() + p.Size() - 1) % p.Size()
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		produceSeq(p, out, 0, n, 3, float64(p.Rank()+iter))
+		if err := p.Exchange(out, 0, n, next, iter, in, 0, n, prev, iter); err != nil {
+			return err
+		}
+		consumeSeq(p, in, 0, n, 3)
+	}
+	return nil
+}
+
+type halo2D struct {
+	cfg    Config
+	px, py int
+}
+
+func newHalo2D(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	px, py := grid2D(cfg.Ranks)
+	if px < 2 || py < 2 {
+		return nil, fmt.Errorf("apps: halo2d needs a 2D-factorable rank count >= 4, got %d", cfg.Ranks)
+	}
+	return &halo2D{cfg: cfg, px: px, py: py}, nil
+}
+
+func (a *halo2D) Name() string { return "halo2d" }
+func (a *halo2D) Ranks() int   { return a.cfg.Ranks }
+
+func (a *halo2D) Run(p *tracer.Proc) error {
+	n := a.cfg.Size // local edge length; halos are n elements wide
+	r := p.Rank()
+	ix, iy := r%a.px, r/a.px
+	west := iy*a.px + (ix+a.px-1)%a.px
+	east := iy*a.px + (ix+1)%a.px
+	north := ((iy+a.py-1)%a.py)*a.px + ix
+	south := ((iy+1)%a.py)*a.px + ix
+
+	outs := [4]*memory.Buffer{}
+	ins := [4]*memory.Buffer{}
+	for d, name := range []string{"W", "E", "N", "S"} {
+		outs[d] = p.NewBuffer("out"+name, n)
+		ins[d] = p.NewBuffer("in"+name, n)
+	}
+	peers := [4]int{west, east, north, south}
+	back := [4]int{1, 0, 3, 2} // opposite direction index
+
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("iter %d", iter))
+		// Stencil sweep: consume all halos interleaved (scattered early),
+		// then the interior bulk, then rewrite outgoing edges last.
+		consumeInterleaved(p, 2,
+			region{ins[0], 0, n}, region{ins[1], 0, n},
+			region{ins[2], 0, n}, region{ins[3], 0, n})
+		p.Compute(int64(n) * int64(n) * 2) // interior update
+		for d := 0; d < 4; d++ {
+			rewriteSeq(p, outs[d], 0, n, 2)
+		}
+		// All sends depart (eagerly) before any receive blocks, so the
+		// exchange cannot deadlock regardless of grid traversal order. The
+		// message arriving from peers[d] is that peer's send in the
+		// opposite direction, hence the back[d] tag.
+		for d := 0; d < 4; d++ {
+			if err := p.Send(outs[d], 0, n, peers[d], iter*8+d); err != nil {
+				return err
+			}
+		}
+		for d := 0; d < 4; d++ {
+			if err := p.Recv(ins[d], 0, n, peers[d], iter*8+back[d]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/memory"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// smallConfig returns a fast-to-trace configuration for each app.
+func smallConfig(name string) Config {
+	switch name {
+	case "pingpong":
+		return Config{Ranks: 2, Size: 256, Iterations: 2}
+	case "ring":
+		return Config{Ranks: 4, Size: 256, Iterations: 2}
+	case "bt":
+		return Config{Ranks: 4, Size: 8, Iterations: 2}
+	case "sweep3d":
+		return Config{Ranks: 4, Size: 64, Iterations: 1}
+	case "cg":
+		return Config{Ranks: 4, Size: 512, Iterations: 2}
+	case "lu":
+		return Config{Ranks: 4, Size: 128, Iterations: 1}
+	case "ft":
+		return Config{Ranks: 4, Size: 256, Iterations: 2}
+	case "mg":
+		return Config{Ranks: 4, Size: 32, Iterations: 1}
+	default:
+		return Config{Ranks: 4, Size: 64, Iterations: 2}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"alya", "bt", "cg", "ft", "halo2d", "lu", "mg", "pingpong", "pop", "ring", "specfem", "sweep3d"}
+	if len(names) != len(want) {
+		t.Fatalf("registered apps = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered apps = %v, want %v", names, want)
+		}
+	}
+	for _, n := range PaperApps() {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("paper app %q not registered: %v", n, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("expected unknown-app error, got %v", err)
+	}
+}
+
+func TestNewAppliesDefaults(t *testing.T) {
+	a, err := New("pingpong", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks() != 2 {
+		t.Errorf("default ranks = %d", a.Ranks())
+	}
+	// Partial override: only iterations given.
+	a2, err := New("ring", Config{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Ranks() != 8 {
+		t.Errorf("partial config lost default ranks: %d", a2.Ranks())
+	}
+}
+
+func TestConstructorConstraints(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"pingpong", Config{Ranks: 3, Size: 64, Iterations: 1}},
+		{"ring", Config{Ranks: 1, Size: 64, Iterations: 1}},
+		{"bt", Config{Ranks: 6, Size: 8, Iterations: 1}}, // not square
+		{"bt", Config{Ranks: 1, Size: 8, Iterations: 1}}, // too small
+		{"halo2d", Config{Ranks: 2, Size: 8, Iterations: 1}},
+		{"pop", Config{Ranks: 3, Size: 8, Iterations: 1}}, // prime -> 1xN grid
+		{"sweep3d", Config{Ranks: 5, Size: 64, Iterations: 1}},
+		{"sweep3d", Config{Ranks: 4, Size: 4, Iterations: 1}}, // size too small
+		{"cg", Config{Ranks: 4, Size: 4, Iterations: 1}},
+		{"alya", Config{Ranks: 2, Size: 64, Iterations: 1}},
+		{"specfem", Config{Ranks: 1, Size: 64, Iterations: 1}},
+		{"pingpong", Config{Ranks: 2, Size: 0, Iterations: -1}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.cfg); err == nil {
+			t.Errorf("%s %+v: expected constructor error", c.name, c.cfg)
+		}
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	cases := []struct{ n, px, py int }{
+		{16, 4, 4}, {8, 2, 4}, {12, 3, 4}, {7, 1, 7}, {36, 6, 6},
+	}
+	for _, c := range cases {
+		px, py := grid2D(c.n)
+		if px != c.px || py != c.py {
+			t.Errorf("grid2D(%d) = %dx%d, want %dx%d", c.n, px, py, c.px, c.py)
+		}
+		if px*py != c.n {
+			t.Errorf("grid2D(%d) does not factor", c.n)
+		}
+	}
+}
+
+func TestEveryAppTracesAndValidates(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := New(name, smallConfig(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.Validate(ps.Original); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			st := trace.Stats(ps.Original)
+			if st.Instructions == 0 {
+				t.Error("app did no computation")
+			}
+			if st.Messages == 0 && st.Collectives == 0 {
+				t.Error("app did no communication")
+			}
+		})
+	}
+}
+
+func TestEveryAppFullPipeline(t *testing.T) {
+	// trace -> transform (real + linear) -> replay; the overlapped trace
+	// must replay correctly and never be drastically slower than the
+	// original. CPU overhead is zeroed here: its chunking penalty on
+	// tiny micro-kernel bursts is a real modeled effect, exercised by the
+	// A2 ablation rather than this structural check.
+	cfg := machine.Default()
+	cfg.CPUOverhead = 0
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := New(name, smallConfig(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := replay.Simulate(ps.Original, cfg)
+			if err != nil {
+				t.Fatalf("original replay: %v", err)
+			}
+			for _, pat := range []overlap.Pattern{overlap.PatternReal, overlap.PatternLinear} {
+				ts, err := overlap.Transform(ps, overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: pat})
+				if err != nil {
+					t.Fatalf("%v transform: %v", pat, err)
+				}
+				res, err := replay.Simulate(ts, cfg)
+				if err != nil {
+					t.Fatalf("%v replay: %v", pat, err)
+				}
+				if float64(res.Total) > 1.25*float64(orig.Total) {
+					t.Errorf("%v overlapped run much slower: %v vs original %v", pat, res.Total, orig.Total)
+				}
+			}
+		})
+	}
+}
+
+func TestBTProductionIsLate(t *testing.T) {
+	a, err := New("bt", smallConfig("bt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every annotated send in BT must have all chunks produced in the last
+	// quarter of the preceding burst (the solve sweeps rewrite the faces).
+	checked := 0
+	for rank, ann := range ps.Annotations {
+		for idx, an := range ann {
+			if an.Production == nil {
+				continue
+			}
+			checked++
+			for c, off := range an.Production.Offsets {
+				if off < an.Production.Burst*3/4 {
+					t.Fatalf("rank %d record %d chunk %d produced at %d of %d: BT faces must be produced late",
+						rank, idx, c, off, an.Production.Burst)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no annotated sends found in BT trace")
+	}
+}
+
+func TestBTConsumptionIsEarly(t *testing.T) {
+	a, err := New("bt", smallConfig("bt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for rank, ann := range ps.Annotations {
+		for idx, an := range ann {
+			if an.Consumption == nil {
+				continue
+			}
+			checked++
+			for c, off := range an.Consumption.Offsets {
+				if off > an.Consumption.Burst/4 {
+					t.Fatalf("rank %d record %d chunk %d first needed at %d of %d: BT halos must be needed early",
+						rank, idx, c, off, an.Consumption.Burst)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no annotated recvs found in BT trace")
+	}
+}
+
+func TestSweep3DBoundaryRanksMessageCount(t *testing.T) {
+	a, err := New("sweep3d", Config{Ranks: 4, Size: 64, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Stats(ps.Original)
+	// 2x2 grid, 4 octants: each octant has 4 directed edges (2 horizontal
+	// + 2 vertical), so 16 messages total.
+	if st.Messages != 16 {
+		t.Errorf("sweep3d 2x2 messages = %d, want 16", st.Messages)
+	}
+}
+
+func TestSweep3DWavefrontSerializes(t *testing.T) {
+	// On a slow network the original wavefront cost grows with the chain;
+	// the linear-pattern overlapped version pipelines it and must win
+	// clearly.
+	a, err := New("sweep3d", Config{Ranks: 16, Size: 512, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Default().WithBandwidth(64 * units.MBPerSec)
+	orig, err := replay.Simulate(ps.Original, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := overlap.Transform(ps, overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := replay.Simulate(lin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(orig.Total) < 1.2*float64(over.Total) {
+		t.Errorf("wavefront pipelining too weak: original %v, overlapped %v", orig.Total, over.Total)
+	}
+}
+
+func TestCGHasCollectives(t *testing.T) {
+	a, err := New("cg", smallConfig("cg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Stats(ps.Original)
+	want := 4 * 2 // ranks execute 2 allreduces per iteration, 2 iterations -> counted per rank
+	if st.Collectives != want*2 {
+		t.Errorf("cg collectives = %d, want %d (2 per iter per rank)", st.Collectives, want*2)
+	}
+}
+
+func TestPOPMessagesAreSmall(t *testing.T) {
+	a, err := New("pop", Config{Ranks: 4, Size: 48, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Stats(ps.Original)
+	if st.LargestMsg > units.KB {
+		t.Errorf("pop messages should be sub-KB, largest = %v", st.LargestMsg)
+	}
+}
+
+func TestAppsDeterministicTraces(t *testing.T) {
+	for _, name := range []string{"bt", "sweep3d", "alya"} {
+		a1, _ := New(name, smallConfig(name))
+		a2, _ := New(name, smallConfig(name))
+		p1, err := tracer.Trace(a1, tracer.Options{Chunks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := tracer.Trace(a2, tracer.Options{Chunks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range p1.Original.Traces {
+			a, b := p1.Original.Traces[r].Records, p2.Original.Traces[r].Records
+			if len(a) != len(b) {
+				t.Fatalf("%s rank %d: record counts differ", name, r)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s rank %d record %d: %v vs %v", name, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestConsumeInterleavedCoversRegions(t *testing.T) {
+	// consumeInterleaved must read every element of every region exactly
+	// once per epoch, with unequal lengths handled.
+	app := funcApp{
+		name:  "probe",
+		ranks: 1,
+		body: func(p *tracer.Proc) error {
+			a := p.NewBuffer("a", 8)
+			b := p.NewBuffer("b", 4)
+			consumeInterleaved(p, 1, region{a, 0, 8}, region{b, 0, 4})
+			for i := 0; i < 8; i++ {
+				if a.FirstRead(i) == memory.Unread {
+					t.Errorf("a[%d] not read", i)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				if b.FirstRead(i) == memory.Unread {
+					t.Errorf("b[%d] not read", i)
+				}
+			}
+			return nil
+		},
+	}
+	if _, err := tracer.Trace(app, tracer.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// funcApp mirrors the tracer test helper for in-package probes.
+type funcApp struct {
+	name  string
+	ranks int
+	body  func(p *tracer.Proc) error
+}
+
+func (a funcApp) Name() string             { return a.name }
+func (a funcApp) Ranks() int               { return a.ranks }
+func (a funcApp) Run(p *tracer.Proc) error { return a.body(p) }

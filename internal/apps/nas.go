@@ -1,0 +1,206 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/tracer"
+)
+
+func init() {
+	register(Spec{
+		Name: "bt",
+		Description: "NAS-BT proxy: square process grid, per-iteration face exchanges around " +
+			"an rhs phase and three ADI solve sweeps that rewrite the outgoing faces last",
+		Default: Config{Ranks: 16, Size: 16, Iterations: 4},
+		New:     newBT,
+	})
+	register(Spec{
+		Name: "cg",
+		Description: "NAS-CG proxy: banded sparse matvec with neighbour halo exchange and two " +
+			"dot-product allreduces per iteration that bound the overlap potential",
+		Default: Config{Ranks: 16, Size: 4096, Iterations: 4},
+		New:     newCG,
+	})
+}
+
+// ---- NAS BT proxy ---------------------------------------------------------
+//
+// BT solves block-tridiagonal systems with an ADI scheme: each time step
+// computes right-hand sides from halo data and then sweeps the three
+// spatial directions. The sweeps update the whole local block, so the face
+// values that will be sent are rewritten at the very end of the computation
+// — the late-production pattern that makes measured early-send potential
+// negligible. The rhs phase reads all incoming faces near the start of the
+// burst, which likewise removes late-receive potential.
+
+type bt struct {
+	cfg    Config
+	px, py int
+}
+
+func newBT(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	side := int(math.Round(math.Sqrt(float64(cfg.Ranks))))
+	if side*side != cfg.Ranks || side < 2 {
+		return nil, fmt.Errorf("apps: bt needs a square rank count >= 4, got %d", cfg.Ranks)
+	}
+	return &bt{cfg: cfg, px: side, py: side}, nil
+}
+
+func (a *bt) Name() string { return "bt" }
+func (a *bt) Ranks() int   { return a.cfg.Ranks }
+
+func (a *bt) Run(p *tracer.Proc) error {
+	n := a.cfg.Size // local block edge; faces are n*n elements
+	face := n * n
+	r := p.Rank()
+	ix, iy := r%a.px, r/a.px
+	peers := [4]int{
+		iy*a.px + (ix+a.px-1)%a.px,   // west
+		iy*a.px + (ix+1)%a.px,        // east
+		((iy+a.py-1)%a.py)*a.px + ix, // north
+		((iy+1)%a.py)*a.px + ix,      // south
+	}
+	back := [4]int{1, 0, 3, 2}
+	outs, ins := [4]*memory.Buffer{}, [4]*memory.Buffer{}
+	for d, name := range []string{"W", "E", "N", "S"} {
+		outs[d] = p.NewBuffer("face-out-"+name, face)
+		ins[d] = p.NewBuffer("face-in-"+name, face)
+	}
+
+	// exchange swaps the two faces of one direction pair (0: west/east,
+	// 1: north/south) with the grid neighbours.
+	exchange := func(iter, pair int) error {
+		for d := 2 * pair; d < 2*pair+2; d++ {
+			if err := p.Send(outs[d], 0, face, peers[d], iter*8+d); err != nil {
+				return err
+			}
+		}
+		for d := 2 * pair; d < 2*pair+2; d++ {
+			if err := p.Recv(ins[d], 0, face, peers[d], iter*8+back[d]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("bt iter %d", iter))
+
+		// compute_rhs: incoming halos feed the stencil immediately.
+		consumeInterleaved(p, 2,
+			region{ins[0], 0, face}, region{ins[1], 0, face},
+			region{ins[2], 0, face}, region{ins[3], 0, face})
+		p.Compute(int64(n) * int64(n) * int64(n) * 8)
+
+		// x_solve: sweep the block, extract the west/east faces at the end
+		// of the sweep, exchange them. The per-sweep exchanges are BT's
+		// real structure, and they bound each message's overlap window to
+		// one sweep.
+		p.Compute(int64(n) * int64(n) * int64(n) * 8)
+		rewriteSeq(p, outs[0], 0, face, 1)
+		rewriteSeq(p, outs[1], 0, face, 1)
+		if err := exchange(iter, 0); err != nil {
+			return err
+		}
+
+		// y_solve: the sweep needs the updated west/east boundary right
+		// away, then extracts and exchanges the north/south faces.
+		consumeInterleaved(p, 2, region{ins[0], 0, face}, region{ins[1], 0, face})
+		p.Compute(int64(n) * int64(n) * int64(n) * 8)
+		rewriteSeq(p, outs[2], 0, face, 1)
+		rewriteSeq(p, outs[3], 0, face, 1)
+		if err := exchange(iter, 1); err != nil {
+			return err
+		}
+
+		// z_solve: needs the north/south boundary first; no communication.
+		consumeInterleaved(p, 2, region{ins[2], 0, face}, region{ins[3], 0, face})
+		p.Compute(int64(n) * int64(n) * int64(n) * 8)
+	}
+	return nil
+}
+
+// ---- NAS CG proxy ---------------------------------------------------------
+//
+// CG iterates q = A*p with a banded sparse matrix distributed by rows: each
+// rank exchanges vector halo segments with its two band neighbours, does
+// the local matvec (reading the received segments as the band rows touch
+// them, early in the burst) and then computes two global dot products via
+// allreduce. The collectives synchronize every iteration, which is what
+// limits CG's overlap benefit in the paper to around 10%.
+
+type cg struct{ cfg Config }
+
+func newCG(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("apps: cg needs at least 2 ranks, got %d", cfg.Ranks)
+	}
+	if cfg.Size < 16 {
+		return nil, fmt.Errorf("apps: cg needs Size >= 16, got %d", cfg.Size)
+	}
+	return &cg{cfg: cfg}, nil
+}
+
+func (a *cg) Name() string { return "cg" }
+func (a *cg) Ranks() int   { return a.cfg.Ranks }
+
+func (a *cg) Run(p *tracer.Proc) error {
+	n := a.cfg.Size // local vector length
+	h := n / 8      // halo segment exchanged with each band neighbour
+	left := (p.Rank() + p.Size() - 1) % p.Size()
+	right := (p.Rank() + 1) % p.Size()
+
+	vec := p.NewBuffer("p-vec", n)
+	haloL := p.NewBuffer("halo-left", h)
+	haloR := p.NewBuffer("halo-right", h)
+	dots := p.NewBuffer("dots", 2)
+
+	produceSeq(p, vec, 0, n, 1, float64(p.Rank()))
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("cg iter %d", iter))
+
+		// Halo exchange of the search-direction vector's band edges.
+		if err := p.Send(vec, 0, h, left, iter*4); err != nil {
+			return err
+		}
+		if err := p.Send(vec, n-h, n, right, iter*4+1); err != nil {
+			return err
+		}
+		if err := p.Recv(haloL, 0, h, left, iter*4+1); err != nil {
+			return err
+		}
+		if err := p.Recv(haloR, 0, h, right, iter*4); err != nil {
+			return err
+		}
+
+		// Local matvec: band rows touch the halo segments early and
+		// scattered, the bulk of the rows are interior-only.
+		consumeInterleaved(p, 2, region{haloL, 0, h}, region{haloR, 0, h})
+		p.Compute(int64(n) * 48) // interior rows of the band matrix
+
+		// Two dot products -> two allreduces per iteration.
+		dots.Store(0, vec.Load(0))
+		dots.Store(1, vec.Load(n-1))
+		if err := p.Allreduce(dots, 0, 2); err != nil {
+			return err
+		}
+		if err := p.Allreduce(dots, 0, 1); err != nil {
+			return err
+		}
+
+		// axpy updates the local vector; the band edges that will be sent
+		// next iteration are rewritten at the end of the burst.
+		p.Compute(int64(n) * 12)
+		rewriteSeq(p, vec, 0, h, 1)
+		rewriteSeq(p, vec, n-h, n, 1)
+	}
+	return nil
+}

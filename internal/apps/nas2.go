@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"fmt"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/tracer"
+)
+
+func init() {
+	register(Spec{
+		Name: "lu",
+		Description: "NAS-LU proxy: SSOR with forward and backward 2D wavefront sweeps; like " +
+			"Sweep3D a dependency chain crosses the grid, but with smaller pipelined messages",
+		Default: Config{Ranks: 16, Size: 768, Iterations: 2},
+		New:     newLU,
+	})
+	register(Spec{
+		Name: "mg",
+		Description: "NAS-MG proxy: V-cycle multigrid with halo exchanges whose message sizes " +
+			"halve at every coarser level, mixing bandwidth- and latency-bound phases",
+		Default: Config{Ranks: 16, Size: 64, Iterations: 2},
+		New:     newMG,
+	})
+	register(Spec{
+		Name: "ft",
+		Description: "NAS-FT proxy: 3D FFT with an all-to-all transpose every iteration; the " +
+			"collective dominates and bounds what point-to-point overlap can gain",
+		Default: Config{Ranks: 16, Size: 4096, Iterations: 3},
+		New:     newFT,
+	})
+}
+
+// ---- NAS LU proxy ---------------------------------------------------------
+//
+// LU's SSOR solver performs a lower-triangular sweep (wavefront from the
+// north-west corner of the process grid) followed by an upper-triangular
+// sweep (from the south-east corner). Each rank receives boundary values
+// from two upstream neighbours, eliminates its block plane by plane and
+// forwards to two downstream neighbours — the same dependency pipeline as
+// Sweep3D, exercised in both directions per iteration.
+
+type lu struct {
+	cfg    Config
+	px, py int
+}
+
+func newLU(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	px, py := grid2D(cfg.Ranks)
+	if px < 2 || py < 2 {
+		return nil, fmt.Errorf("apps: lu needs a 2D-factorable rank count >= 4, got %d", cfg.Ranks)
+	}
+	if cfg.Size < 16 {
+		return nil, fmt.Errorf("apps: lu needs Size >= 16, got %d", cfg.Size)
+	}
+	return &lu{cfg: cfg, px: px, py: py}, nil
+}
+
+func (a *lu) Name() string { return "lu" }
+func (a *lu) Ranks() int   { return a.cfg.Ranks }
+
+func (a *lu) Run(p *tracer.Proc) error {
+	f := a.cfg.Size
+	const planes = 8
+	r := p.Rank()
+	ix, iy := r%a.px, r/a.px
+	inI := p.NewBuffer("lu-in-i", f)
+	inJ := p.NewBuffer("lu-in-j", f)
+	outI := p.NewBuffer("lu-out-i", f)
+	outJ := p.NewBuffer("lu-out-j", f)
+
+	sweep := func(iter, dir, di, dj int) error {
+		upI, downI := ix-di, ix+di
+		upJ, downJ := iy-dj, iy+dj
+		tagBase := (iter*2 + dir) * 2
+		if upI >= 0 && upI < a.px {
+			if err := p.Recv(inI, 0, f, iy*a.px+upI, tagBase); err != nil {
+				return err
+			}
+		}
+		if upJ >= 0 && upJ < a.py {
+			if err := p.Recv(inJ, 0, f, upJ*a.px+ix, tagBase+1); err != nil {
+				return err
+			}
+		}
+		chunk := f / planes
+		for k := 0; k < planes; k++ {
+			lo, hi := k*chunk, (k+1)*chunk
+			if k == planes-1 {
+				hi = f
+			}
+			consumeInterleaved(p, 1, region{inI, lo, hi}, region{inJ, lo, hi})
+			p.Compute(int64(hi-lo) * 30)
+			for i := lo; i < hi; i++ {
+				outI.Store(i, inI.Load(i)*0.9+0.1)
+				outJ.Store(i, inJ.Load(i)*0.9+0.1)
+			}
+		}
+		// The relaxation-factor scaling at the end of the sweep rewrites
+		// the outgoing boundary, pinning production to the burst tail.
+		rewriteSeq(p, outI, 0, f, 1)
+		rewriteSeq(p, outJ, 0, f, 1)
+		if downI >= 0 && downI < a.px {
+			if err := p.Send(outI, 0, f, iy*a.px+downI, tagBase); err != nil {
+				return err
+			}
+		}
+		if downJ >= 0 && downJ < a.py {
+			if err := p.Send(outJ, 0, f, downJ*a.px+ix, tagBase+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("lu iter %d lower", iter))
+		if err := sweep(iter, 0, 1, 1); err != nil { // forward wavefront
+			return err
+		}
+		p.Marker(fmt.Sprintf("lu iter %d upper", iter))
+		if err := sweep(iter, 1, -1, -1); err != nil { // backward wavefront
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- NAS MG proxy ---------------------------------------------------------
+//
+// MG descends a V-cycle: at each level the stencil is smoothed and halos
+// exchanged, with both the local work and the message sizes shrinking by
+// half per level. The fine levels are bandwidth-bound, the coarse levels
+// latency-bound — within one iteration, so the overlap benefit is a blend.
+
+type mg struct {
+	cfg    Config
+	px, py int
+	levels int
+}
+
+func newMG(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	px, py := grid2D(cfg.Ranks)
+	if px < 2 || py < 2 {
+		return nil, fmt.Errorf("apps: mg needs a 2D-factorable rank count >= 4, got %d", cfg.Ranks)
+	}
+	levels := 0
+	for n := cfg.Size; n >= 8; n /= 2 {
+		levels++
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("apps: mg needs Size >= 16 for at least 2 levels, got %d", cfg.Size)
+	}
+	return &mg{cfg: cfg, px: px, py: py, levels: levels}, nil
+}
+
+func (a *mg) Name() string { return "mg" }
+func (a *mg) Ranks() int   { return a.cfg.Ranks }
+
+func (a *mg) Run(p *tracer.Proc) error {
+	r := p.Rank()
+	ix, iy := r%a.px, r/a.px
+	peers := [4]int{
+		iy*a.px + (ix+a.px-1)%a.px,
+		iy*a.px + (ix+1)%a.px,
+		((iy+a.py-1)%a.py)*a.px + ix,
+		((iy+1)%a.py)*a.px + ix,
+	}
+	back := [4]int{1, 0, 3, 2}
+	// One buffer pair per level and direction, sized for that level.
+	outs := make([][4]*memory.Buffer, a.levels)
+	ins := make([][4]*memory.Buffer, a.levels)
+	n := a.cfg.Size
+	for lvl := 0; lvl < a.levels; lvl++ {
+		for d, name := range []string{"W", "E", "N", "S"} {
+			outs[lvl][d] = p.NewBuffer(fmt.Sprintf("mg-out-%s-l%d", name, lvl), n)
+			ins[lvl][d] = p.NewBuffer(fmt.Sprintf("mg-in-%s-l%d", name, lvl), n)
+		}
+		n /= 2
+	}
+
+	smoothAndExchange := func(iter, lvl, phase int) error {
+		n := outs[lvl][0].Len()
+		// Smooth: halos feed the boundary rows first, interior bulk, and
+		// the restriction/prolongation at the end rewrites the edges.
+		consumeInterleaved(p, 2,
+			region{ins[lvl][0], 0, n}, region{ins[lvl][1], 0, n},
+			region{ins[lvl][2], 0, n}, region{ins[lvl][3], 0, n})
+		p.Compute(int64(n) * int64(n) * 12)
+		for d := 0; d < 4; d++ {
+			rewriteSeq(p, outs[lvl][d], 0, n, 1)
+		}
+		tagBase := ((iter*a.levels+lvl)*2 + phase) * 8
+		for d := 0; d < 4; d++ {
+			if err := p.Send(outs[lvl][d], 0, n, peers[d], tagBase+d); err != nil {
+				return err
+			}
+		}
+		for d := 0; d < 4; d++ {
+			if err := p.Recv(ins[lvl][d], 0, n, peers[d], tagBase+back[d]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("mg iter %d", iter))
+		// Descend to the coarsest level...
+		for lvl := 0; lvl < a.levels; lvl++ {
+			if err := smoothAndExchange(iter, lvl, 0); err != nil {
+				return err
+			}
+		}
+		// ...and come back up.
+		for lvl := a.levels - 1; lvl >= 0; lvl-- {
+			if err := smoothAndExchange(iter, lvl, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- NAS FT proxy ---------------------------------------------------------
+//
+// FT computes 3D FFTs by transposing the distributed array between
+// dimensions: an all-to-all every iteration. The transpose is a collective
+// and automatic (point-to-point) overlap cannot touch it, so FT bounds the
+// study from the collective-dominated side.
+
+type ft struct{ cfg Config }
+
+func newFT(cfg Config) (tracer.App, error) {
+	if err := cfg.validatePositive(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("apps: ft needs at least 2 ranks, got %d", cfg.Ranks)
+	}
+	if cfg.Size < cfg.Ranks {
+		return nil, fmt.Errorf("apps: ft needs Size >= Ranks, got %d < %d", cfg.Size, cfg.Ranks)
+	}
+	return &ft{cfg: cfg}, nil
+}
+
+func (a *ft) Name() string { return "ft" }
+func (a *ft) Ranks() int   { return a.cfg.Ranks }
+
+func (a *ft) Run(p *tracer.Proc) error {
+	n := a.cfg.Size - a.cfg.Size%p.Size() // per-rank slab, divisible by P
+	field := p.NewBuffer("ft-field", n)
+	produceSeq(p, field, 0, n, 1, float64(p.Rank()))
+
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		p.Marker(fmt.Sprintf("ft iter %d", iter))
+		// Local 1D FFT pass along the resident dimension: n log n work.
+		logN := 0
+		for v := n; v > 1; v /= 2 {
+			logN++
+		}
+		p.Compute(int64(n) * int64(logN) * 4)
+		rewriteSeq(p, field, 0, n, 1)
+
+		// Transpose: the all-to-all exchanges the slab across all ranks.
+		// The tracer records it as a collective (trace.Alltoall) via the
+		// Allreduce-style wrapper below. A second local pass follows.
+		if err := p.Alltoall(field, 0, n); err != nil {
+			return err
+		}
+		consumeSeq(p, field, 0, n, 1)
+		p.Compute(int64(n) * int64(logN) * 4)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+func TestLUBidirectionalWavefront(t *testing.T) {
+	a, err := New("lu", Config{Ranks: 4, Size: 64, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 grid: the forward sweep has 4 directed edges and so does the
+	// backward sweep -> 8 messages per iteration.
+	st := trace.Stats(ps.Original)
+	if st.Messages != 8 {
+		t.Errorf("lu 2x2 messages = %d, want 8", st.Messages)
+	}
+	// Corner ranks differ per sweep: rank 0 sends in the forward sweep
+	// and receives in the backward sweep.
+	var sends0, recvs0 int
+	for _, rec := range ps.Original.Traces[0].Records {
+		switch rec.Kind {
+		case trace.KindSend:
+			sends0++
+		case trace.KindRecv:
+			recvs0++
+		}
+	}
+	if sends0 != 2 || recvs0 != 2 {
+		t.Errorf("rank 0 sends/recvs = %d/%d, want 2/2 (forward out, backward in)", sends0, recvs0)
+	}
+}
+
+func TestLUPipelinesUnderOverlap(t *testing.T) {
+	a, err := New("lu", Config{Ranks: 16, Size: 512, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Default().WithBandwidth(128 * units.MBPerSec)
+	orig, err := replay.Simulate(ps.Original, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := overlap.Transform(ps, overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := replay.Simulate(lin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(orig.Total) < 1.15*float64(over.Total) {
+		t.Errorf("lu wavefront should pipeline: original %v, overlapped %v", orig.Total, over.Total)
+	}
+}
+
+func TestMGLevelSizesHalve(t *testing.T) {
+	a, err := New("mg", Config{Ranks: 4, Size: 64, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect distinct message sizes; they must form a halving chain
+	// 64*8, 32*8, 16*8, 8*8 bytes.
+	sizes := map[units.Bytes]bool{}
+	for _, rec := range ps.Original.Traces[0].Records {
+		if rec.Kind == trace.KindSend {
+			sizes[rec.Size] = true
+		}
+	}
+	for _, want := range []units.Bytes{512, 256, 128, 64} {
+		if !sizes[want] {
+			t.Errorf("mg missing level message size %v (have %v)", want, sizes)
+		}
+	}
+}
+
+func TestMGVCycleSymmetric(t *testing.T) {
+	a, err := New("mg", Config{Ranks: 4, Size: 32, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down + up over L levels: 2*L exchanges of 4 sends each per rank.
+	levels := 0
+	for n := 32; n >= 8; n /= 2 {
+		levels++
+	}
+	var sends int
+	for _, rec := range ps.Original.Traces[0].Records {
+		if rec.Kind == trace.KindSend {
+			sends++
+		}
+	}
+	if want := 2 * levels * 4; sends != want {
+		t.Errorf("mg sends per rank = %d, want %d", sends, want)
+	}
+}
+
+func TestFTUsesAlltoall(t *testing.T) {
+	a, err := New("ft", Config{Ranks: 4, Size: 256, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alltoalls int
+	for _, rec := range ps.Original.Traces[0].Records {
+		if rec.Kind == trace.KindCollective && rec.Coll == trace.Alltoall {
+			alltoalls++
+		}
+	}
+	if alltoalls != 2 {
+		t.Errorf("ft alltoalls per rank = %d, want 2 (one per iteration)", alltoalls)
+	}
+	if err := trace.Validate(ps.Original); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFTOverlapBoundedByCollective(t *testing.T) {
+	// FT's transpose is a collective: point-to-point overlap must gain
+	// little at any bandwidth.
+	a, err := New("ft", Config{Ranks: 16, Size: 4096, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := overlap.Transform(ps, overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []units.Bandwidth{32 * units.MBPerSec, units.GBPerSec} {
+		cfg := machine.Default().WithBandwidth(bw)
+		orig, err := replay.Simulate(ps.Original, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over, err := replay.Simulate(lin, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := float64(orig.Total) / float64(over.Total)
+		if sp > 1.10 {
+			t.Errorf("ft overlap speedup at %v = %v, want <= 1.10 (collective-bound)", bw, sp)
+		}
+	}
+}
+
+func TestNewAppConstraints2(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"lu", Config{Ranks: 3, Size: 64, Iterations: 1}},
+		{"lu", Config{Ranks: 4, Size: 8, Iterations: 1}},
+		{"mg", Config{Ranks: 2, Size: 64, Iterations: 1}},
+		{"mg", Config{Ranks: 4, Size: 4, Iterations: 1}},
+		{"ft", Config{Ranks: 1, Size: 64, Iterations: 1}},
+		{"ft", Config{Ranks: 16, Size: 8, Iterations: 1}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.cfg); err == nil {
+			t.Errorf("%s %+v: expected constructor error", c.name, c.cfg)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package cliflag holds the platform flag set shared by the command-line
+// tools, so every binary accepts the same -preset/-bw/-latency/-buses/...
+// options and builds the same machine.Config from them.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/units"
+)
+
+// Machine collects platform flags registered on a FlagSet. Explicitly set
+// flags override the preset; unset flags keep the preset's values.
+type Machine struct {
+	fs        *flag.FlagSet
+	preset    string
+	bandwidth string
+	latency   string
+	overhead  string
+	eager     string
+	buses     int
+	mips      float64
+	perNode   int
+}
+
+// RegisterMachine adds the platform flags to fs with defaults taken from
+// machine.Default().
+func RegisterMachine(fs *flag.FlagSet) *Machine {
+	def := machine.Default()
+	m := &Machine{fs: fs}
+	fs.StringVar(&m.preset, "preset", "", "platform preset: "+strings.Join(machine.PresetNames(), ", "))
+	fs.StringVar(&m.bandwidth, "bw", def.Bandwidth.String(), "network bandwidth (e.g. 256MB/s, 1GB/s, inf)")
+	fs.StringVar(&m.latency, "latency", def.Latency.String(), "network latency (e.g. 10us)")
+	fs.StringVar(&m.overhead, "overhead", def.CPUOverhead.String(), "per-message CPU overhead (e.g. 0s, 1us)")
+	fs.StringVar(&m.eager, "eager", def.EagerThreshold.String(), "eager threshold (messages above use rendezvous)")
+	fs.IntVar(&m.buses, "buses", def.Buses, "number of network buses (0 = unlimited)")
+	fs.Float64Var(&m.mips, "mips", float64(def.MIPS), "CPU speed in MIPS (0 = use the trace's rate)")
+	fs.IntVar(&m.perNode, "ranks-per-node", def.RanksPerNode, "ranks placed on each SMP node")
+	return m
+}
+
+// Config builds the platform: the preset (or the default machine) with any
+// explicitly passed flag applied on top.
+func (m *Machine) Config() (machine.Config, error) {
+	cfg := machine.Default()
+	if m.preset != "" {
+		var err error
+		cfg, err = machine.Preset(m.preset)
+		if err != nil {
+			return cfg, err
+		}
+	}
+	explicit := map[string]bool{}
+	m.fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if explicit["bw"] {
+		bw, err := units.ParseBandwidth(m.bandwidth)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Bandwidth = bw
+	}
+	if explicit["latency"] {
+		lat, err := units.ParseDuration(m.latency)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -latency: %w", err)
+		}
+		cfg.Latency = lat
+	}
+	if explicit["overhead"] {
+		ovh, err := units.ParseDuration(m.overhead)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -overhead: %w", err)
+		}
+		cfg.CPUOverhead = ovh
+	}
+	if explicit["eager"] {
+		eager, err := units.ParseBytes(m.eager)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -eager: %w", err)
+		}
+		cfg.EagerThreshold = eager
+	}
+	if explicit["buses"] {
+		cfg.Buses = m.buses
+	}
+	if explicit["mips"] {
+		cfg.MIPS = units.MIPS(m.mips)
+	}
+	if explicit["ranks-per-node"] {
+		cfg.RanksPerNode = m.perNode
+	}
+	return cfg, cfg.Validate()
+}

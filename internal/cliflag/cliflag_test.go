@@ -1,0 +1,119 @@
+package cliflag
+
+import (
+	"flag"
+	"testing"
+
+	"overlapsim/internal/units"
+)
+
+func parse(t *testing.T, args ...string) (*Machine, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	m := RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return m, nil
+}
+
+func TestDefaultsBuildValidConfig(t *testing.T) {
+	m, _ := parse(t)
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsApply(t *testing.T) {
+	m, _ := parse(t,
+		"-bw", "1GB/s",
+		"-latency", "5us",
+		"-overhead", "2us",
+		"-eager", "16KB",
+		"-buses", "4",
+		"-mips", "2000",
+		"-ranks-per-node", "2",
+	)
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Bandwidth != units.GBPerSec {
+		t.Errorf("Bandwidth = %v", cfg.Bandwidth)
+	}
+	if cfg.Latency != 5*units.Microsecond {
+		t.Errorf("Latency = %v", cfg.Latency)
+	}
+	if cfg.CPUOverhead != 2*units.Microsecond {
+		t.Errorf("CPUOverhead = %v", cfg.CPUOverhead)
+	}
+	if cfg.EagerThreshold != 16*units.KB {
+		t.Errorf("EagerThreshold = %v", cfg.EagerThreshold)
+	}
+	if cfg.Buses != 4 || cfg.MIPS != 2000 || cfg.RanksPerNode != 2 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestInfiniteBandwidth(t *testing.T) {
+	m, _ := parse(t, "-bw", "inf")
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Bandwidth.Infinite() {
+		t.Error("inf bandwidth not applied")
+	}
+}
+
+func TestPresetApplied(t *testing.T) {
+	m, _ := parse(t, "-preset", "gige")
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "gige" || cfg.Latency != 50*units.Microsecond {
+		t.Errorf("preset not applied: %+v", cfg)
+	}
+}
+
+func TestPresetWithOverride(t *testing.T) {
+	// Explicit flags win over the preset; unset flags keep preset values.
+	m, _ := parse(t, "-preset", "gige", "-latency", "1us")
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Latency != units.Microsecond {
+		t.Errorf("explicit -latency should override preset: %v", cfg.Latency)
+	}
+	if cfg.Bandwidth != 110*units.MBPerSec {
+		t.Errorf("preset bandwidth should survive: %v", cfg.Bandwidth)
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	m, _ := parse(t, "-preset", "carrier-pigeon")
+	if _, err := m.Config(); err == nil {
+		t.Error("unknown preset: expected error")
+	}
+}
+
+func TestBadValuesSurface(t *testing.T) {
+	cases := [][]string{
+		{"-bw", "fast"},
+		{"-latency", "soon"},
+		{"-overhead", "some"},
+		{"-eager", "big"},
+	}
+	for _, args := range cases {
+		m, _ := parse(t, args...)
+		if _, err := m.Config(); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package des implements the discrete-event simulation engine underneath
+// the trace replayer (the Dimemas-like stage of the environment).
+//
+// The engine is deliberately minimal and fully deterministic: events are
+// ordered by (time, insertion sequence), so replaying the same trace set on
+// the same platform configuration always yields bit-identical results. The
+// replayer builds rank state machines and network resource schedulers on
+// top of it.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"overlapsim/internal/units"
+)
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func()
+
+type scheduled struct {
+	at    units.Time
+	seq   int64 // insertion order; breaks ties deterministically
+	fn    Event
+	index int // heap index, maintained by the heap interface
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*q)
+	*q = append(*q, s)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return s
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; create engines with New.
+type Engine struct {
+	now     units.Time
+	queue   eventQueue
+	seq     int64
+	stopped bool
+	steps   int64
+	maxStep int64 // safety valve; 0 means unlimited
+}
+
+// New returns an engine with its clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// SetStepLimit bounds the number of events Run may execute; 0 removes the
+// bound. It protects tests against runaway schedules.
+func (e *Engine) SetStepLimit(n int64) { e.maxStep = n }
+
+// Schedule runs fn at the given absolute instant. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality, which is always
+// a programming error in the replayer.
+func (e *Engine) Schedule(at units.Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before current time %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: scheduling nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter runs fn after delay d from the current time. Negative
+// delays are clamped to zero.
+func (e *Engine) ScheduleAfter(d units.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the step limit is exceeded. It returns an error only when the
+// step limit fires, which indicates a livelock in the model being simulated.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		s := heap.Pop(&e.queue).(*scheduled)
+		e.now = s.at
+		e.steps++
+		if e.maxStep > 0 && e.steps > e.maxStep {
+			return fmt.Errorf("des: step limit %d exceeded at t=%v (livelock in simulated model?)", e.maxStep, e.now)
+		}
+		s.fn()
+	}
+	return nil
+}

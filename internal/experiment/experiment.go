@@ -1,0 +1,270 @@
+// Package experiment is the harness that regenerates the paper's
+// evaluation: every finding of section III plus the ablations the
+// environment was explicitly designed to support (studying each
+// overlapping mechanism separately, chunk granularity, network parameters)
+// and the comparison against the Sancho et al. analytical baseline.
+//
+// Experiment identifiers follow DESIGN.md:
+//
+//	F1  — the Fig. 1 pipeline, end to end, with visual comparison
+//	E1  — real vs ideal computation patterns (finding 1)
+//	E2  — per-app speedup at intermediate bandwidth (finding 2)
+//	E2f — speedup vs bandwidth curves (the implied per-app figure)
+//	E3  — iso-performance bandwidth reduction (finding 3)
+//	A1  — mechanism ablation (early-send / late-recv / both)
+//	A2  — chunk-count ablation
+//	A3  — network-parameter ablation (buses, eager threshold)
+//	B1  — analytic baseline vs simulation
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"overlapsim/internal/apps"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// Pipeline is one application traced once, with cached transformations and
+// replays so bandwidth sweeps do not repeat work.
+type Pipeline struct {
+	AppName  string
+	Cfg      apps.Config
+	Chunks   int
+	Profiled *overlap.ProfiledSet
+
+	variants map[string]*trace.Set
+}
+
+// NewPipeline traces the application once (the single real run of the
+// paper's methodology) and prepares the transformation cache.
+func NewPipeline(appName string, cfg apps.Config, chunks int) (*Pipeline, error) {
+	a, err := apps.New(appName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := tracer.Trace(a, tracer.Options{Chunks: chunks})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		AppName:  appName,
+		Cfg:      cfg,
+		Chunks:   chunks,
+		Profiled: ps,
+		variants: map[string]*trace.Set{},
+	}, nil
+}
+
+// OriginalSet returns the non-overlapped trace.
+func (pl *Pipeline) OriginalSet() *trace.Set { return pl.Profiled.Original }
+
+// VariantSet returns (building and caching on first use) the overlapped
+// trace for the given options.
+func (pl *Pipeline) VariantSet(opts overlap.Options) (*trace.Set, error) {
+	key := opts.Variant(pl.Chunks)
+	if ts, ok := pl.variants[key]; ok {
+		return ts, nil
+	}
+	ts, err := overlap.Transform(pl.Profiled, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl.variants[key] = ts
+	return ts, nil
+}
+
+// Original replays the non-overlapped trace on the platform.
+func (pl *Pipeline) Original(m machine.Config) (*replay.Result, error) {
+	return replay.Simulate(pl.Profiled.Original, m)
+}
+
+// Overlapped replays an overlapped variant on the platform.
+func (pl *Pipeline) Overlapped(m machine.Config, opts overlap.Options) (*replay.Result, error) {
+	ts, err := pl.VariantSet(opts)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Simulate(ts, m)
+}
+
+// Speedup replays both executions and returns T_original / T_overlapped.
+func (pl *Pipeline) Speedup(m machine.Config, opts overlap.Options) (float64, error) {
+	orig, err := pl.Original(m)
+	if err != nil {
+		return 0, err
+	}
+	over, err := pl.Overlapped(m, opts)
+	if err != nil {
+		return 0, err
+	}
+	if over.Total <= 0 {
+		return 1, nil
+	}
+	return float64(orig.Total) / float64(over.Total), nil
+}
+
+// bandwidthGrid returns the logarithmic bandwidth grid shared by the
+// sweeps: powers of two from 1 MB/s to 64 GB/s.
+func bandwidthGrid() []units.Bandwidth {
+	var out []units.Bandwidth
+	for bw := units.Bandwidth(units.MBPerSec); bw <= 64*units.GBPerSec; bw *= 2 {
+		out = append(out, bw)
+	}
+	return out
+}
+
+// IntermediateBandwidth locates the paper's "intermediate" regime: the
+// bandwidth at which the original execution spends a time in communication
+// comparable to computation (mean blocked fraction closest to 0.5). The
+// search is a deterministic sweep over the logarithmic grid.
+func (pl *Pipeline) IntermediateBandwidth(base machine.Config) (units.Bandwidth, error) {
+	best := units.Bandwidth(0)
+	bestDist := math.Inf(1)
+	for _, bw := range bandwidthGrid() {
+		res, err := pl.Original(base.WithBandwidth(bw))
+		if err != nil {
+			return 0, err
+		}
+		d := math.Abs(res.MeanBlockedFraction() - 0.5)
+		if d < bestDist {
+			bestDist, best = d, bw
+		}
+	}
+	return best, nil
+}
+
+// IsoBandwidth finds the minimum bandwidth at which the overlapped
+// execution matches (within tol) the original execution's runtime on the
+// reference bandwidth — finding 3's measurement. ok is false when even the
+// reference bandwidth cannot reach the target with overlap.
+func (pl *Pipeline) IsoBandwidth(base machine.Config, ref units.Bandwidth, opts overlap.Options, tol float64) (units.Bandwidth, bool, error) {
+	origRef, err := pl.Original(base.WithBandwidth(ref))
+	if err != nil {
+		return 0, false, err
+	}
+	target := float64(origRef.Total) * (1 + tol)
+	meets := func(bw units.Bandwidth) (bool, error) {
+		res, err := pl.Overlapped(base.WithBandwidth(bw), opts)
+		if err != nil {
+			return false, err
+		}
+		return float64(res.Total) <= target, nil
+	}
+	okAtRef, err := meets(ref)
+	if err != nil {
+		return 0, false, err
+	}
+	if !okAtRef {
+		return 0, false, nil
+	}
+	// Binary search in log space: runtime is non-increasing in bandwidth.
+	lo, hi := math.Log(float64(64*units.KBPerSec)), math.Log(float64(ref))
+	okAtLo, err := meets(units.Bandwidth(math.Exp(lo)))
+	if err != nil {
+		return 0, false, err
+	}
+	if okAtLo {
+		return units.Bandwidth(math.Exp(lo)), true, nil
+	}
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		ok, err := meets(units.Bandwidth(math.Exp(mid)))
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return units.Bandwidth(math.Exp(hi)), true, nil
+}
+
+// Suite binds the experiment set to a platform and problem scale.
+type Suite struct {
+	// Machine is the base platform; bandwidth is swept per experiment.
+	Machine machine.Config
+	// Chunks is the partition granularity (default 8).
+	Chunks int
+	// Quick shrinks the workloads for fast runs (tests, smoke benches).
+	Quick bool
+
+	pipelines map[string]*Pipeline
+}
+
+// NewSuite returns a suite on the default platform.
+func NewSuite() *Suite {
+	return &Suite{Machine: machine.Default(), Chunks: 8}
+}
+
+// AppConfig returns the workload configuration the suite uses for an app.
+func (s *Suite) AppConfig(name string) apps.Config {
+	spec, err := apps.Lookup(name)
+	if err != nil {
+		return apps.Config{}
+	}
+	cfg := spec.Default
+	if s.Quick {
+		switch name {
+		case "pingpong":
+			cfg = apps.Config{Ranks: 2, Size: 512, Iterations: 2}
+		case "bt":
+			cfg = apps.Config{Ranks: 4, Size: 10, Iterations: 2}
+		case "sweep3d":
+			cfg = apps.Config{Ranks: 4, Size: 256, Iterations: 1}
+		case "cg":
+			cfg = apps.Config{Ranks: 4, Size: 1024, Iterations: 2}
+		default:
+			cfg = apps.Config{Ranks: 4, Size: spec.Default.Size / 2, Iterations: 2}
+		}
+	}
+	return cfg
+}
+
+// PipelineFor traces the app once per suite and caches the result.
+func (s *Suite) PipelineFor(name string) (*Pipeline, error) {
+	if s.pipelines == nil {
+		s.pipelines = map[string]*Pipeline{}
+	}
+	if pl, ok := s.pipelines[name]; ok {
+		return pl, nil
+	}
+	chunks := s.Chunks
+	if chunks == 0 {
+		chunks = 8
+	}
+	pl, err := NewPipeline(name, s.AppConfig(name), chunks)
+	if err != nil {
+		return nil, err
+	}
+	s.pipelines[name] = pl
+	return pl, nil
+}
+
+// bothLinear and bothReal are the two headline variants.
+var (
+	bothLinear = overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear}
+	bothReal   = overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternReal}
+)
+
+// PaperE2 holds the speedups the paper reports at intermediate bandwidth
+// with ideal patterns (percent gains), for side-by-side comparison.
+var PaperE2 = map[string]float64{
+	"bt":      30,
+	"cg":      10,
+	"pop":     10,
+	"alya":    40,
+	"specfem": 65,
+	"sweep3d": 160,
+}
+
+func fmtBW(bw units.Bandwidth) string { return bw.String() }
+
+func fmtPct(p float64) string { return fmt.Sprintf("%+.1f%%", p) }

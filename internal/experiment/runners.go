@@ -1,0 +1,447 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"overlapsim/internal/analytic"
+	"overlapsim/internal/apps"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/paraver"
+	"overlapsim/internal/stats"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+// Def describes a runnable experiment.
+type Def struct {
+	ID    string
+	Title string
+	Run   func(s *Suite, w io.Writer) error
+}
+
+// All lists every experiment in DESIGN.md order.
+var All = []Def{
+	{"f1", "Fig.1 pipeline: trace -> simulate -> visualize, original vs overlapped", RunF1},
+	{"e1", "Finding 1: real vs ideal computation patterns", RunE1},
+	{"e2", "Finding 2: speedup at intermediate bandwidth (ideal patterns)", RunE2},
+	{"e2f", "Implied figure: speedup vs bandwidth curves", RunE2f},
+	{"e3", "Finding 3: iso-performance bandwidth reduction", RunE3},
+	{"a1", "Ablation: overlapping mechanisms in isolation", RunA1},
+	{"a2", "Ablation: chunk granularity", RunA2},
+	{"a3", "Ablation: network parameters (buses, eager threshold)", RunA3},
+	{"b1", "Baseline: Sancho et al. analytic model vs simulation", RunB1},
+	{"s1", "Extension: wavefront overlap benefit vs process-grid size", RunS1},
+}
+
+// Find returns the experiment definition with the given id.
+func Find(id string) (Def, error) {
+	for _, d := range All {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	ids := make([]string, len(All))
+	for i, d := range All {
+		ids[i] = d.ID
+	}
+	sort.Strings(ids)
+	return Def{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, ids)
+}
+
+// RunF1 exercises the full Fig. 1 pipeline on the pingpong kernel and
+// renders the qualitative comparison the Paraver stage provides.
+func RunF1(s *Suite, w io.Writer) error {
+	pl, err := s.PipelineFor("pingpong")
+	if err != nil {
+		return err
+	}
+	bw, err := pl.IntermediateBandwidth(s.Machine)
+	if err != nil {
+		return err
+	}
+	m := s.Machine.WithBandwidth(bw)
+	orig, err := pl.Original(m)
+	if err != nil {
+		return err
+	}
+	over, err := pl.Overlapped(m, bothLinear)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "F1: tracing tool -> Dimemas-like replay -> Paraver-like view (%s, %s)\n\n", pl.AppName, m)
+	if err := paraver.RenderComparison(w, orig.Timelines, over.Timelines, paraver.GanttOptions{Width: 72, Legend: true}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := paraver.WriteSummary(w, paraver.Summarize(orig.Timelines)); err != nil {
+		return err
+	}
+	return paraver.WriteSummary(w, paraver.Summarize(over.Timelines))
+}
+
+// RunE1 reproduces finding 1: with real (measured) patterns the potential
+// for automatic overlap is negligible; ideal (sequential) patterns unlock
+// it.
+func RunE1(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "E1: speedup of automatic overlap at intermediate bandwidth, real vs ideal patterns")
+	tb := stats.NewTable("app", "bandwidth", "real-pattern", "ideal-pattern", "verdict")
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		bw, err := pl.IntermediateBandwidth(s.Machine)
+		if err != nil {
+			return err
+		}
+		m := s.Machine.WithBandwidth(bw)
+		real, err := pl.Speedup(m, bothReal)
+		if err != nil {
+			return err
+		}
+		ideal, err := pl.Speedup(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		verdict := "real<<ideal"
+		if stats.PercentGain(real) > stats.PercentGain(ideal)/2 {
+			verdict = "comparable"
+		}
+		tb.AddRow(name, fmtBW(bw), fmtPct(stats.PercentGain(real)), fmtPct(stats.PercentGain(ideal)), verdict)
+	}
+	return tb.Render(w)
+}
+
+// RunE2 reproduces finding 2: the per-application speedup table at
+// intermediate bandwidth with ideal patterns, next to the paper's reported
+// values.
+func RunE2(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "E2: speedup at intermediate bandwidth with ideal (sequential) patterns")
+	tb := stats.NewTable("app", "bandwidth", "T-original", "T-overlap", "speedup", "paper")
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		bw, err := pl.IntermediateBandwidth(s.Machine)
+		if err != nil {
+			return err
+		}
+		m := s.Machine.WithBandwidth(bw)
+		orig, err := pl.Original(m)
+		if err != nil {
+			return err
+		}
+		over, err := pl.Overlapped(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		sp := float64(orig.Total) / float64(over.Total)
+		tb.AddRow(name, fmtBW(bw),
+			units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+			fmtPct(stats.PercentGain(sp)), fmtPct(PaperE2[name]))
+	}
+	return tb.Render(w)
+}
+
+// RunE2f reproduces the implied per-app figure: speedup of the overlapped
+// execution across the bandwidth range, showing benefits "in a wide range
+// of network bandwidth" with the peak at the intermediate regime.
+func RunE2f(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "E2f: ideal-pattern overlap speedup vs bandwidth")
+	grid := bandwidthGrid()
+	header := []string{"app"}
+	for _, bw := range grid {
+		header = append(header, fmtBW(bw))
+	}
+	tb := stats.NewTable(header...)
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		row := []string{name}
+		series := stats.Series{Name: name}
+		for _, bw := range grid {
+			sp, err := pl.Speedup(s.Machine.WithBandwidth(bw), bothLinear)
+			if err != nil {
+				return err
+			}
+			series.Add(float64(bw), sp)
+			row = append(row, fmt.Sprintf("%.2f", sp))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.Render(w)
+}
+
+// RunE3 reproduces finding 3: the bandwidth the overlapped execution needs
+// to match the original execution's performance at a high reference
+// bandwidth is orders of magnitude lower.
+func RunE3(s *Suite, w io.Writer) error {
+	ref := 32 * units.GBPerSec
+	fmt.Fprintf(w, "E3: bandwidth needed by the overlapped execution to match the original at %s\n", ref)
+	tb := stats.NewTable("app", "T-target", "iso-bandwidth", "reduction")
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		origRef, err := pl.Original(s.Machine.WithBandwidth(ref))
+		if err != nil {
+			return err
+		}
+		iso, ok, err := pl.IsoBandwidth(s.Machine, ref, bothLinear, 0.02)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			tb.AddRow(name, units.Duration(origRef.Total).String(), "unreachable", "-")
+			continue
+		}
+		tb.AddRow(name, units.Duration(origRef.Total).String(), fmtBW(iso),
+			fmt.Sprintf("%.0fx", float64(ref)/float64(iso)))
+	}
+	return tb.Render(w)
+}
+
+// RunA1 studies each overlapping mechanism separately, the capability the
+// paper's tracing tool explicitly provides (section II-B).
+func RunA1(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "A1: overlap mechanisms in isolation (ideal patterns, intermediate bandwidth)")
+	tb := stats.NewTable("app", "chunk-only", "early-send", "late-recv", "both")
+	mechs := []overlap.Mechanism{0, overlap.EarlySend, overlap.LateRecv, overlap.BothMechanisms}
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		bw, err := pl.IntermediateBandwidth(s.Machine)
+		if err != nil {
+			return err
+		}
+		m := s.Machine.WithBandwidth(bw)
+		row := []string{name}
+		for _, mech := range mechs {
+			sp, err := pl.Speedup(m, overlap.Options{Mechanisms: mech, Pattern: overlap.PatternLinear})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmtPct(stats.PercentGain(sp)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.Render(w)
+}
+
+// RunA2 sweeps the partial-message granularity, with and without a
+// per-message CPU overhead: finer chunks pipeline better but pay the
+// posting cost more often, so a real platform has an optimum.
+func RunA2(s *Suite, w io.Writer) error {
+	chunkCounts := []int{1, 2, 4, 8, 16, 32}
+	for _, ovh := range []units.Duration{0, 2 * units.Microsecond} {
+		fmt.Fprintf(w, "A2: chunk-count sweep (ideal patterns, intermediate bandwidth, CPU overhead %v)\n", ovh)
+		header := []string{"app"}
+		for _, c := range chunkCounts {
+			header = append(header, fmt.Sprintf("c=%d", c))
+		}
+		tb := stats.NewTable(header...)
+		for _, name := range paperAppsOf(s) {
+			pl, err := s.PipelineFor(name)
+			if err != nil {
+				return err
+			}
+			bw, err := pl.IntermediateBandwidth(s.Machine)
+			if err != nil {
+				return err
+			}
+			m := s.Machine.WithBandwidth(bw)
+			m.CPUOverhead = ovh
+			row := []string{name}
+			for _, c := range chunkCounts {
+				sp, err := pl.Speedup(m, overlap.Options{
+					Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear, Chunks: c})
+				if err != nil {
+					return err
+				}
+				row = append(row, fmtPct(stats.PercentGain(sp)))
+			}
+			tb.AddRow(row...)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunA3 sweeps the Dimemas network parameters: bus count and eager
+// threshold, on the sweep3d pipeline.
+func RunA3(s *Suite, w io.Writer) error {
+	name := "sweep3d"
+	pl, err := s.PipelineFor(name)
+	if err != nil {
+		return err
+	}
+	bw, err := pl.IntermediateBandwidth(s.Machine)
+	if err != nil {
+		return err
+	}
+	base := s.Machine.WithBandwidth(bw)
+
+	fmt.Fprintf(w, "A3: network-parameter ablation on %s at %s\n", name, fmtBW(bw))
+	tb := stats.NewTable("buses", "T-original", "T-overlap", "speedup")
+	for _, buses := range []int{1, 2, 4, 8, 0} {
+		m := base.WithBuses(buses)
+		orig, err := pl.Original(m)
+		if err != nil {
+			return err
+		}
+		over, err := pl.Overlapped(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", buses)
+		if buses == 0 {
+			label = "inf"
+		}
+		tb.AddRow(label, units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+
+	tb2 := stats.NewTable("eager-threshold", "T-original", "T-overlap", "speedup")
+	for _, thr := range []units.Bytes{0, units.KB, 32 * units.KB, -1} {
+		m := base
+		m.EagerThreshold = thr
+		orig, err := pl.Original(m)
+		if err != nil {
+			return err
+		}
+		over, err := pl.Overlapped(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		label := thr.String()
+		switch thr {
+		case 0:
+			label = "rendezvous-all"
+		case -1:
+			label = "eager-all"
+		}
+		tb2.AddRow(label, units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	}
+	if err := tb2.Render(w); err != nil {
+		return err
+	}
+
+	tb3 := stats.NewTable("cpu-overhead", "T-original", "T-overlap", "speedup")
+	for _, ovh := range []units.Duration{0, units.Microsecond, 2 * units.Microsecond, 4 * units.Microsecond} {
+		m := base
+		m.CPUOverhead = ovh
+		orig, err := pl.Original(m)
+		if err != nil {
+			return err
+		}
+		over, err := pl.Overlapped(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		tb3.AddRow(ovh.String(), units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	}
+	return tb3.Render(w)
+}
+
+// RunB1 compares the Sancho et al. closed-form predictions with the
+// simulated results at the intermediate bandwidth.
+func RunB1(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "B1: analytic (Sancho et al.) vs simulated overlap benefit, intermediate bandwidth")
+	tb := stats.NewTable("app", "bandwidth", "analytic", "simulated-ideal", "simulated-real")
+	for _, name := range paperAppsOf(s) {
+		pl, err := s.PipelineFor(name)
+		if err != nil {
+			return err
+		}
+		bw, err := pl.IntermediateBandwidth(s.Machine)
+		if err != nil {
+			return err
+		}
+		m := s.Machine.WithBandwidth(bw)
+		mips := m.MIPS
+		if mips == 0 {
+			mips = pl.OriginalSet().MIPS
+		}
+		model := analytic.FromStats(trace.Stats(pl.OriginalSet()), mips)
+		ideal, err := pl.Speedup(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		real, err := pl.Speedup(m, bothReal)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(name, fmtBW(bw),
+			fmtPct(stats.PercentGain(model.Speedup(m))),
+			fmtPct(stats.PercentGain(ideal)),
+			fmtPct(stats.PercentGain(real)))
+	}
+	return tb.Render(w)
+}
+
+// RunS1 extends the study in the paper's future-work direction: how the
+// wavefront pipelining benefit scales with the process-grid size. The
+// dependency chain grows with the grid diagonal, so the serialized original
+// run degrades while the chunk-pipelined run keeps the diagonal short —
+// the benefit must grow with rank count.
+func RunS1(s *Suite, w io.Writer) error {
+	fmt.Fprintln(w, "S1: sweep3d ideal-pattern overlap benefit vs process-grid size")
+	rankCounts := []int{4, 16, 36}
+	size, iters := 1024, 1
+	if s.Quick {
+		rankCounts = []int{4, 16}
+		size = 256
+	}
+	tb := stats.NewTable("ranks", "grid", "bandwidth", "T-original", "T-overlap", "speedup")
+	for _, ranks := range rankCounts {
+		pl, err := NewPipeline("sweep3d", apps.Config{Ranks: ranks, Size: size, Iterations: iters}, s.Chunks)
+		if err != nil {
+			return err
+		}
+		bw, err := pl.IntermediateBandwidth(s.Machine)
+		if err != nil {
+			return err
+		}
+		m := s.Machine.WithBandwidth(bw)
+		orig, err := pl.Original(m)
+		if err != nil {
+			return err
+		}
+		over, err := pl.Overlapped(m, bothLinear)
+		if err != nil {
+			return err
+		}
+		side := 1
+		for side*side < ranks {
+			side++
+		}
+		tb.AddRow(fmt.Sprint(ranks), fmt.Sprintf("%dx%d", side, side), fmtBW(bw),
+			units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	}
+	return tb.Render(w)
+}
+
+// paperAppsOf returns the evaluation app list, shrunk in quick mode.
+func paperAppsOf(s *Suite) []string {
+	if s.Quick {
+		return []string{"bt", "cg", "sweep3d"}
+	}
+	return apps.PaperApps()
+}

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	if err := Ideal().Validate(); err != nil {
+		t.Fatalf("Ideal() invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }, "Nodes"},
+		{"zero rpn", func(c *Config) { c.RanksPerNode = 0 }, "RanksPerNode"},
+		{"negative mips", func(c *Config) { c.MIPS = -1 }, "MIPS"},
+		{"negative latency", func(c *Config) { c.Latency = -1 }, "Latency"},
+		{"negative bandwidth", func(c *Config) { c.Bandwidth = -1 }, "Bandwidth"},
+		{"negative buses", func(c *Config) { c.Buses = -1 }, "Buses"},
+		{"negative links", func(c *Config) { c.InLinks = -1 }, "link"},
+		{"negative local latency", func(c *Config) { c.LocalLatency = -1 }, "LocalLatency"},
+		{"negative local bw", func(c *Config) { c.LocalBandwidth = -1 }, "LocalBandwidth"},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	c := Default()
+	c.RanksPerNode = 4
+	if c.NodeOf(0) != 0 || c.NodeOf(3) != 0 || c.NodeOf(4) != 1 {
+		t.Error("block placement wrong")
+	}
+	if !c.SameNode(0, 3) || c.SameNode(3, 4) {
+		t.Error("SameNode wrong")
+	}
+	if got := c.WithNodes(9).Nodes; got != 3 {
+		t.Errorf("WithNodes(9) with rpn=4: Nodes = %d, want 3", got)
+	}
+	if got := Default().Capacity(); got != 64 {
+		t.Errorf("Capacity = %d, want 64", got)
+	}
+}
+
+func TestEagerThreshold(t *testing.T) {
+	c := Default()
+	c.EagerThreshold = 1024
+	if !c.Eager(1024) || c.Eager(1025) {
+		t.Error("eager threshold boundary wrong")
+	}
+	c.EagerThreshold = 0
+	if c.Eager(1) {
+		t.Error("threshold 0 should force rendezvous")
+	}
+	c.EagerThreshold = -1
+	if !c.Eager(1 << 30) {
+		t.Error("negative threshold should force eager")
+	}
+}
+
+func TestTransferTimes(t *testing.T) {
+	c := Default()
+	c.Bandwidth = units.Bandwidth(units.MB) // 1 MB/s
+	if got := c.TransferTime(units.MB); got != units.Second {
+		t.Errorf("TransferTime(1MB) = %v, want 1s", got)
+	}
+	c.LocalBandwidth = 0
+	if got := c.LocalTransferTime(units.GB); got != 0 {
+		t.Errorf("infinite local bandwidth: got %v, want 0", got)
+	}
+}
+
+func TestWithModifiers(t *testing.T) {
+	c := Default().WithBandwidth(units.GBPerSec).WithLatency(5 * units.Microsecond).WithBuses(2)
+	if c.Bandwidth != units.GBPerSec || c.Latency != 5*units.Microsecond || c.Buses != 2 {
+		t.Errorf("modifiers did not apply: %+v", c)
+	}
+	if !strings.Contains(c.Name, "@1GB/s") {
+		t.Errorf("name not annotated: %q", c.Name)
+	}
+	// Re-annotation replaces, not stacks.
+	c2 := c.WithBandwidth(2 * units.GBPerSec)
+	if strings.Count(c2.Name, "@") != 1 {
+		t.Errorf("name annotation stacked: %q", c2.Name)
+	}
+	// Original untouched (value semantics).
+	if Default().Bandwidth == units.GBPerSec {
+		t.Error("modifier mutated the default")
+	}
+}
+
+func TestCollectiveCostFormulas(t *testing.T) {
+	c := Default()
+	c.Latency = 10 * units.Microsecond
+	c.Bandwidth = 0 // infinite: isolate the latency term
+	// 16 ranks, log model: 4 stages.
+	if got, want := c.CollectiveCost(trace.Barrier, 0, 16), 40*units.Microsecond; got != want {
+		t.Errorf("barrier cost = %v, want %v", got, want)
+	}
+	if got, want := c.CollectiveCost(trace.Bcast, 1024, 16), 40*units.Microsecond; got != want {
+		t.Errorf("bcast cost = %v, want %v", got, want)
+	}
+	if got, want := c.CollectiveCost(trace.Allreduce, 1024, 16), 80*units.Microsecond; got != want {
+		t.Errorf("allreduce cost = %v, want %v", got, want)
+	}
+	if got, want := c.CollectiveCost(trace.Alltoall, 0, 16), 150*units.Microsecond; got != want {
+		t.Errorf("alltoall cost = %v, want %v", got, want)
+	}
+	// Linear model: 15 stages.
+	c.Collectives = CollLinear
+	if got, want := c.CollectiveCost(trace.Barrier, 0, 16), 150*units.Microsecond; got != want {
+		t.Errorf("linear barrier cost = %v, want %v", got, want)
+	}
+	// Single rank: free.
+	if got := c.CollectiveCost(trace.Allreduce, 1024, 1); got != 0 {
+		t.Errorf("1-rank collective cost = %v, want 0", got)
+	}
+}
+
+func TestCollectiveCostIncludesBandwidthTerm(t *testing.T) {
+	c := Default()
+	c.Latency = 0
+	c.Bandwidth = units.Bandwidth(units.MB) // 1 MB/s
+	// 4 ranks log: 2 stages; bcast of 1MB: 2 * 1s.
+	if got, want := c.CollectiveCost(trace.Bcast, units.MB, 4), 2*units.Second; got != want {
+		t.Errorf("bcast bandwidth term = %v, want %v", got, want)
+	}
+}
+
+func TestPropertyCollectiveCostMonotoneInRanks(t *testing.T) {
+	c := Default()
+	f := func(a, b uint8) bool {
+		pa, pb := int(a%64)+2, int(b%64)+2
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return c.CollectiveCost(trace.Allreduce, 4096, pa) <= c.CollectiveCost(trace.Allreduce, 4096, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDescriptions(t *testing.T) {
+	if s := Default().String(); !strings.Contains(s, "default") || !strings.Contains(s, "buses=8") {
+		t.Errorf("String() = %q", s)
+	}
+	if CollLog.String() != "log" || CollLinear.String() != "linear" {
+		t.Error("collective model names wrong")
+	}
+}

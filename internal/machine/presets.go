@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"overlapsim/internal/units"
+)
+
+// Presets model platforms of the paper's era and a few contemporary ones,
+// so studies can be placed on recognizable hardware instead of raw numbers.
+// Values are representative of published micro-benchmarks for each fabric
+// (latency = end-to-end small-message latency, bandwidth = sustained
+// point-to-point payload bandwidth), rounded to keep tables legible.
+//
+// The preset names are accepted by Preset and listed by PresetNames.
+
+// Preset returns a named platform configuration.
+func Preset(name string) (Config, error) {
+	build, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("machine: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return build(), nil
+}
+
+// PresetNames lists the available presets, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var presets = map[string]func() Config{
+	"default": Default,
+	"ideal":   Ideal,
+
+	// Fast Ethernet cluster, early Beowulf era: high latency, low
+	// bandwidth, a single shared segment modeled as one bus.
+	"fast-ethernet": func() Config {
+		c := Default()
+		c.Name = "fast-ethernet"
+		c.Latency = 70 * units.Microsecond
+		c.Bandwidth = 11 * units.MBPerSec
+		c.Buses = 1
+		c.EagerThreshold = 16 * units.KB
+		return c
+	},
+
+	// Gigabit Ethernet with TCP: the commodity cluster of the late 2000s.
+	"gige": func() Config {
+		c := Default()
+		c.Name = "gige"
+		c.Latency = 50 * units.Microsecond
+		c.Bandwidth = 110 * units.MBPerSec
+		c.Buses = 8
+		c.EagerThreshold = 32 * units.KB
+		return c
+	},
+
+	// Myrinet-2000, the interconnect of many paper-era BSC-class
+	// clusters: low latency, ~250 MB/s sustained.
+	"myrinet-2000": func() Config {
+		c := Default()
+		c.Name = "myrinet-2000"
+		c.Latency = 7 * units.Microsecond
+		c.Bandwidth = 245 * units.MBPerSec
+		c.Buses = 16
+		c.EagerThreshold = 32 * units.KB
+		return c
+	},
+
+	// InfiniBand DDR (MareNostrum-era high end).
+	"infiniband-ddr": func() Config {
+		c := Default()
+		c.Name = "infiniband-ddr"
+		c.Latency = 2 * units.Microsecond
+		c.Bandwidth = Bw(1.4)
+		c.Buses = 32
+		c.EagerThreshold = 12 * units.KB
+		return c
+	},
+
+	// InfiniBand HDR: a modern fabric, to place the findings on current
+	// hardware (the paper's future-work direction).
+	"infiniband-hdr": func() Config {
+		c := Default()
+		c.Name = "infiniband-hdr"
+		c.Latency = 1 * units.Microsecond
+		c.Bandwidth = Bw(23)
+		c.Buses = 64
+		c.EagerThreshold = 8 * units.KB
+		return c
+	},
+
+	// An SMP-heavy placement: 4 ranks per node so intra-node transfers
+	// bypass the network, exposing the local/remote split.
+	"smp4": func() Config {
+		c := Default()
+		c.Name = "smp4"
+		c.RanksPerNode = 4
+		c.Nodes = 16
+		c.LocalLatency = 400 // 0.4us
+		return c
+	},
+}
+
+// Bw builds a bandwidth from GB/s, for preset legibility.
+func Bw(gbPerSec float64) units.Bandwidth {
+	return units.Bandwidth(gbPerSec * float64(units.GBPerSec))
+}

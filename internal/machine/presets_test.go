@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/units"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 7 {
+		t.Fatalf("presets = %v", names)
+	}
+	for _, n := range names {
+		cfg, err := Preset(n)
+		if err != nil {
+			t.Errorf("Preset(%q): %v", n, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", n, err)
+		}
+		if n != "default" && n != "ideal" && cfg.Name != n {
+			t.Errorf("preset %q has name %q", n, cfg.Name)
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("quantum-entanglement"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("expected unknown-preset error, got %v", err)
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// The fabrics must be ordered: each generation has lower latency and
+	// higher bandwidth than its predecessor.
+	order := []string{"fast-ethernet", "gige", "myrinet-2000", "infiniband-ddr", "infiniband-hdr"}
+	var prev Config
+	for i, n := range order {
+		cfg, err := Preset(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if cfg.Latency >= prev.Latency {
+				t.Errorf("%s latency %v not below %s latency %v", n, cfg.Latency, order[i-1], prev.Latency)
+			}
+			if cfg.Bandwidth <= prev.Bandwidth {
+				t.Errorf("%s bandwidth %v not above %s", n, cfg.Bandwidth, order[i-1])
+			}
+		}
+		prev = cfg
+	}
+}
+
+func TestSMPPresetPlacement(t *testing.T) {
+	cfg, err := Preset("smp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RanksPerNode != 4 {
+		t.Errorf("smp4 RanksPerNode = %d", cfg.RanksPerNode)
+	}
+	if !cfg.SameNode(0, 3) || cfg.SameNode(3, 4) {
+		t.Error("smp4 placement wrong")
+	}
+}
+
+func TestBwHelper(t *testing.T) {
+	if got := Bw(2); got != 2*units.GBPerSec {
+		t.Errorf("Bw(2) = %v", float64(got))
+	}
+}

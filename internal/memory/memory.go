@@ -1,0 +1,199 @@
+// Package memory is the dynamic-analysis substrate of the tracing tool: a
+// shadow-memory tracker that plays the role Valgrind plays in the paper.
+//
+// The paper's tool leverages two Valgrind functionalities: wrapping
+// function calls and tracking memory activities (loads and stores), with
+// timestamps expressed as the number of instructions executed in
+// computation bursts. Here, application kernels route their loads and
+// stores through tracked buffers, and advance a per-process instruction
+// counter as they compute. For every element the tracker remembers
+//
+//   - the instruction count of the last store (the moment the element's
+//     value is finally *produced*), and
+//   - the instruction count of the first load in the current consumption
+//     epoch (the moment the element is first *needed*).
+//
+// The tracing tool opens a new consumption epoch at every transition from
+// communication to computation, so "first load in epoch" means "first use
+// of the received data inside the following computation burst" — exactly
+// the signal automatic overlap needs to place partial-message waits.
+package memory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unread marks an element that has not been loaded in the current epoch.
+const Unread = int64(math.MaxInt64)
+
+// Tracker is the per-process instrumentation state: an instruction counter
+// plus the tracked buffers. It is confined to one rank's goroutine and is
+// not safe for concurrent use.
+type Tracker struct {
+	instr   int64
+	epoch   int64
+	buffers []*Buffer
+}
+
+// NewTracker returns an empty tracker with the instruction counter at zero.
+func NewTracker() *Tracker { return &Tracker{epoch: 1} }
+
+// AddInstructions advances the instruction counter by n (the cost of
+// computation executed by the kernel). Negative n panics: the logical clock
+// must not run backwards.
+func (t *Tracker) AddInstructions(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("memory: negative instruction count %d", n))
+	}
+	t.instr += n
+}
+
+// Instructions returns the current instruction count.
+func (t *Tracker) Instructions() int64 { return t.instr }
+
+// BeginEpoch opens a new consumption epoch: first-load records from
+// previous epochs become invisible. The tracing tool calls this when a
+// computation burst begins.
+func (t *Tracker) BeginEpoch() { t.epoch++ }
+
+// Buffers returns the tracked buffers in creation order.
+func (t *Tracker) Buffers() []*Buffer { return t.buffers }
+
+// NewBuffer allocates a tracked buffer of n float64 elements.
+func (t *Tracker) NewBuffer(name string, n int) *Buffer {
+	if n < 0 {
+		panic(fmt.Sprintf("memory: buffer %q with negative size %d", name, n))
+	}
+	b := &Buffer{
+		tracker:   t,
+		name:      name,
+		data:      make([]float64, n),
+		lastWrite: make([]int64, n),
+		firstRead: make([]int64, n),
+		readMark:  make([]int64, n),
+	}
+	t.buffers = append(t.buffers, b)
+	return b
+}
+
+// Buffer is a tracked array of float64 values.
+type Buffer struct {
+	tracker   *Tracker
+	name      string
+	data      []float64
+	lastWrite []int64 // absolute instruction count of the last store
+	firstRead []int64 // absolute instruction count of the first load in epoch readMark
+	readMark  []int64 // epoch in which firstRead was recorded
+}
+
+// Name returns the buffer's diagnostic name.
+func (b *Buffer) Name() string { return b.name }
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Load reads element i, recording the access.
+func (b *Buffer) Load(i int) float64 {
+	if b.readMark[i] != b.tracker.epoch {
+		b.readMark[i] = b.tracker.epoch
+		b.firstRead[i] = b.tracker.instr
+	}
+	return b.data[i]
+}
+
+// Store writes element i, recording the access.
+func (b *Buffer) Store(i int, v float64) {
+	b.lastWrite[i] = b.tracker.instr
+	b.data[i] = v
+}
+
+// Raw returns the underlying storage without recording accesses. The
+// communication runtime uses it to move payloads; kernels must not.
+func (b *Buffer) Raw() []float64 { return b.data }
+
+// FillRaw copies src into the buffer starting at lo without recording
+// accesses, modeling data arriving from the network.
+func (b *Buffer) FillRaw(lo int, src []float64) {
+	copy(b.data[lo:lo+len(src)], src)
+}
+
+// LastWrite returns the instruction count of the last store to element i,
+// or 0 if the element was never stored.
+func (b *Buffer) LastWrite(i int) int64 { return b.lastWrite[i] }
+
+// FirstRead returns the instruction count of the first load of element i
+// in the current epoch, or Unread if it has not been loaded this epoch.
+func (b *Buffer) FirstRead(i int) int64 {
+	if b.readMark[i] != b.tracker.epoch {
+		return Unread
+	}
+	return b.firstRead[i]
+}
+
+// ProductionProfile divides [lo,hi) into chunks near-equal parts and
+// returns, per chunk, the instruction count at which the chunk was fully
+// produced: the maximum LastWrite over its elements. A chunk whose elements
+// were never written reports 0 (available from the start).
+func (b *Buffer) ProductionProfile(lo, hi, chunks int) ([]int64, error) {
+	bounds, err := b.chunkBounds(lo, hi, chunks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(bounds)-1)
+	for c := range out {
+		var max int64
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			if b.lastWrite[i] > max {
+				max = b.lastWrite[i]
+			}
+		}
+		out[c] = max
+	}
+	return out, nil
+}
+
+// ConsumptionProfile divides [lo,hi) into chunks near-equal parts and
+// returns, per chunk, the instruction count at which the chunk is first
+// needed: the minimum FirstRead over its elements in the current epoch.
+// A chunk never read this epoch reports Unread.
+func (b *Buffer) ConsumptionProfile(lo, hi, chunks int) ([]int64, error) {
+	bounds, err := b.chunkBounds(lo, hi, chunks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(bounds)-1)
+	for c := range out {
+		min := Unread
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			if fr := b.FirstRead(i); fr < min {
+				min = fr
+			}
+		}
+		out[c] = min
+	}
+	return out, nil
+}
+
+// chunkBounds returns chunks+1 split points over [lo,hi), distributing the
+// remainder over the leading chunks.
+func (b *Buffer) chunkBounds(lo, hi, chunks int) ([]int, error) {
+	switch {
+	case lo < 0 || hi > len(b.data) || lo > hi:
+		return nil, fmt.Errorf("memory: buffer %q: bad region [%d,%d) of %d", b.name, lo, hi, len(b.data))
+	case chunks <= 0:
+		return nil, fmt.Errorf("memory: buffer %q: chunk count must be positive, got %d", b.name, chunks)
+	}
+	n := hi - lo
+	if chunks > n && n > 0 {
+		chunks = n
+	}
+	if n == 0 {
+		return []int{lo}, nil // zero chunks: empty profile
+	}
+	bounds := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		bounds[c] = lo + c*n/chunks
+	}
+	return bounds, nil
+}

@@ -1,0 +1,302 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstructionCounter(t *testing.T) {
+	tr := NewTracker()
+	if tr.Instructions() != 0 {
+		t.Fatal("fresh tracker should start at 0")
+	}
+	tr.AddInstructions(100)
+	tr.AddInstructions(50)
+	if got := tr.Instructions(); got != 150 {
+		t.Errorf("Instructions = %d, want 150", got)
+	}
+}
+
+func TestNegativeInstructionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative instruction count should panic")
+		}
+	}()
+	NewTracker().AddInstructions(-1)
+}
+
+func TestNegativeBufferSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative buffer size should panic")
+		}
+	}()
+	NewTracker().NewBuffer("bad", -1)
+}
+
+func TestStoreRecordsLastWrite(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 4)
+	tr.AddInstructions(10)
+	b.Store(1, 3.5)
+	tr.AddInstructions(20)
+	b.Store(1, 4.5) // overwrite: last write moves forward
+	if got := b.LastWrite(1); got != 30 {
+		t.Errorf("LastWrite = %d, want 30", got)
+	}
+	if got := b.LastWrite(0); got != 0 {
+		t.Errorf("untouched element LastWrite = %d, want 0", got)
+	}
+	if got := b.Load(1); got != 4.5 {
+		t.Errorf("Load = %v, want 4.5", got)
+	}
+}
+
+func TestFirstReadPerEpoch(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 2)
+	tr.AddInstructions(5)
+	b.Load(0)
+	tr.AddInstructions(5)
+	b.Load(0) // second read does not move first-read
+	if got := b.FirstRead(0); got != 5 {
+		t.Errorf("FirstRead = %d, want 5", got)
+	}
+	if got := b.FirstRead(1); got != Unread {
+		t.Errorf("unread element FirstRead = %d, want Unread", got)
+	}
+	tr.BeginEpoch()
+	if got := b.FirstRead(0); got != Unread {
+		t.Errorf("after new epoch FirstRead = %d, want Unread", got)
+	}
+	tr.AddInstructions(5)
+	b.Load(0)
+	if got := b.FirstRead(0); got != 15 {
+		t.Errorf("FirstRead in new epoch = %d, want 15", got)
+	}
+}
+
+func TestRawAccessUntracked(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 3)
+	tr.AddInstructions(50)
+	b.FillRaw(1, []float64{7, 8})
+	if b.LastWrite(1) != 0 || b.FirstRead(1) != Unread {
+		t.Error("FillRaw must not record accesses")
+	}
+	if b.Raw()[2] != 8 {
+		t.Errorf("FillRaw did not copy: %v", b.Raw())
+	}
+	_ = b.Raw()[0]
+	if b.FirstRead(0) != Unread {
+		t.Error("Raw read must not record accesses")
+	}
+}
+
+func TestProductionProfile(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 8)
+	// Write elements 0..7 at instruction counts 10,20,...,80.
+	for i := 0; i < 8; i++ {
+		tr.AddInstructions(10)
+		b.Store(i, float64(i))
+	}
+	prof, err := b.ProductionProfile(0, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{20, 40, 60, 80} // max of each pair
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Errorf("production profile = %v, want %v", prof, want)
+			break
+		}
+	}
+}
+
+func TestProductionProfileLateRewrite(t *testing.T) {
+	// A rewrite at the end of the burst pushes every chunk's production
+	// point late — the mechanism behind the paper's finding 1.
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 4)
+	for i := 0; i < 4; i++ {
+		tr.AddInstructions(10)
+		b.Store(i, 1)
+	}
+	tr.AddInstructions(60) // now at 100
+	b.Store(0, 2)          // late fix-up of the first element
+	prof, err := b.ProductionProfile(0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 100 {
+		t.Errorf("late rewrite not reflected: %v", prof)
+	}
+}
+
+func TestConsumptionProfile(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 6)
+	tr.BeginEpoch()
+	// Read elements in reverse order at 10,20,...,60.
+	for i := 5; i >= 0; i-- {
+		tr.AddInstructions(10)
+		b.Load(i)
+	}
+	prof, err := b.ConsumptionProfile(0, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 0 = elements 0,1 first read at 60,50 -> min 50.
+	want := []int64{50, 30, 10}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Errorf("consumption profile = %v, want %v", prof, want)
+			break
+		}
+	}
+}
+
+func TestConsumptionProfileUnreadChunk(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 4)
+	tr.BeginEpoch()
+	tr.AddInstructions(10)
+	b.Load(0)
+	prof, err := b.ConsumptionProfile(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 10 || prof[1] != Unread {
+		t.Errorf("profile = %v, want [10 Unread]", prof)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 4)
+	if _, err := b.ProductionProfile(-1, 4, 2); err == nil {
+		t.Error("negative lo: expected error")
+	}
+	if _, err := b.ProductionProfile(0, 5, 2); err == nil {
+		t.Error("hi beyond len: expected error")
+	}
+	if _, err := b.ConsumptionProfile(2, 1, 2); err == nil {
+		t.Error("lo>hi: expected error")
+	}
+	if _, err := b.ConsumptionProfile(0, 4, 0); err == nil {
+		t.Error("zero chunks: expected error")
+	}
+}
+
+func TestProfileMoreChunksThanElements(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 2)
+	prof, err := b.ProductionProfile(0, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 2 {
+		t.Errorf("chunk count should clamp to region size, got %d", len(prof))
+	}
+}
+
+func TestEmptyRegionProfile(t *testing.T) {
+	tr := NewTracker()
+	b := tr.NewBuffer("x", 4)
+	prof, err := b.ProductionProfile(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 0 {
+		t.Errorf("empty region should give empty profile, got %v", prof)
+	}
+}
+
+func TestBuffersRegistry(t *testing.T) {
+	tr := NewTracker()
+	a := tr.NewBuffer("a", 1)
+	b := tr.NewBuffer("b", 2)
+	bufs := tr.Buffers()
+	if len(bufs) != 2 || bufs[0] != a || bufs[1] != b {
+		t.Error("Buffers() should list buffers in creation order")
+	}
+	if a.Name() != "a" || b.Len() != 2 {
+		t.Error("buffer metadata wrong")
+	}
+}
+
+func TestPropertyChunkBoundsCoverRegion(t *testing.T) {
+	// Chunk profiles partition the region: sum of chunk widths = region
+	// width, and chunk production points are bounded by the region max.
+	f := func(loU, hiU, chU uint8, writes []uint8) bool {
+		tr := NewTracker()
+		b := tr.NewBuffer("p", 64)
+		var maxInstr int64
+		for _, w := range writes {
+			tr.AddInstructions(int64(w%16) + 1)
+			b.Store(int(w)%64, 1)
+			maxInstr = tr.Instructions()
+		}
+		lo := int(loU) % 64
+		hi := lo + int(hiU)%(64-lo+1)
+		chunks := int(chU)%8 + 1
+		prof, err := b.ProductionProfile(lo, hi, chunks)
+		if err != nil {
+			return false
+		}
+		for _, p := range prof {
+			if p < 0 || p > maxInstr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConsumptionMonotoneUnderMoreReads(t *testing.T) {
+	// Reading more elements can only move chunk first-need earlier (or keep
+	// it equal), never later.
+	f := func(seq []uint8) bool {
+		tr := NewTracker()
+		b := tr.NewBuffer("c", 32)
+		tr.BeginEpoch()
+		prev := make([]int64, 4)
+		for i := range prev {
+			prev[i] = Unread
+		}
+		for _, s := range seq {
+			tr.AddInstructions(1)
+			b.Load(int(s) % 32)
+			prof, err := b.ConsumptionProfile(0, 32, 4)
+			if err != nil {
+				return false
+			}
+			for c := range prof {
+				if prof[c] > prev[c] {
+					return false
+				}
+				prev[c] = prof[c]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrackedStoreLoad(b *testing.B) {
+	tr := NewTracker()
+	buf := tr.NewBuffer("bench", 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % 1024
+		buf.Store(idx, float64(i))
+		_ = buf.Load(idx)
+	}
+}

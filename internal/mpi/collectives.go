@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// collSlot is the shared state of one collective invocation. Ranks find
+// their slot via a per-rank sequence number, which works because every rank
+// must execute the same sequence of collectives (MPI semantics; the trace
+// validator enforces the same property on trace sets).
+type collSlot struct {
+	mu       sync.Mutex
+	arrived  int
+	contrib  [][]float64 // per-rank contribution, indexed by rank
+	result   [][]float64 // per-rank result, indexed by rank
+	finished chan struct{}
+	compute  func(s *collSlot) // runs once when the last rank arrives
+	err      error
+}
+
+// enterCollective synchronizes all ranks on the collective with the given
+// per-rank sequence number and returns this rank's result slice.
+func (w *World) enterCollective(rank, seq int, contribution []float64, compute func(*collSlot)) ([]float64, error) {
+	w.collMu.Lock()
+	slot, ok := w.collSlots[seq]
+	if !ok {
+		slot = &collSlot{
+			contrib:  make([][]float64, w.n),
+			result:   make([][]float64, w.n),
+			finished: make(chan struct{}),
+			compute:  compute,
+		}
+		w.collSlots[seq] = slot
+	}
+	w.collMu.Unlock()
+
+	slot.mu.Lock()
+	slot.contrib[rank] = append([]float64(nil), contribution...)
+	slot.arrived++
+	last := slot.arrived == w.n
+	slot.mu.Unlock()
+
+	if last {
+		slot.compute(slot)
+		close(slot.finished)
+		w.collMu.Lock()
+		delete(w.collSlots, seq)
+		w.collMu.Unlock()
+	} else {
+		select {
+		case <-slot.finished:
+		case <-time.After(w.timeout):
+			return nil, fmt.Errorf("%w (rank %d in collective %d)", ErrTimeout, rank, seq)
+		}
+	}
+	if slot.err != nil {
+		return nil, slot.err
+	}
+	return slot.result[rank], nil
+}
+
+// nextCollSeq returns and increments this rank's collective sequence
+// number. Only the rank's own goroutine touches its slot, so no lock is
+// needed.
+func (r *Rank) nextCollSeq() int {
+	s := r.world.collSeqs[r.id]
+	r.world.collSeqs[r.id]++
+	return s
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() error {
+	_, err := r.world.enterCollective(r.id, r.nextCollSeq(), nil, func(s *collSlot) {})
+	return err
+}
+
+// Bcast copies root's buf into every rank's buf. All ranks must pass
+// equal-length buffers.
+func (r *Rank) Bcast(root int, buf []float64) error {
+	if root < 0 || root >= r.world.n {
+		return fmt.Errorf("mpi: rank %d: bcast with invalid root %d", r.id, root)
+	}
+	res, err := r.world.enterCollective(r.id, r.nextCollSeq(), buf, func(s *collSlot) {
+		src := s.contrib[root]
+		for i := range s.result {
+			if len(s.contrib[i]) != len(src) {
+				s.err = fmt.Errorf("mpi: bcast buffer length mismatch: rank %d has %d, root has %d", i, len(s.contrib[i]), len(src))
+				return
+			}
+			s.result[i] = src
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+// sumInto accumulates elementwise sums of all contributions.
+func sumContrib(s *collSlot) ([]float64, error) {
+	n := len(s.contrib[0])
+	for i := range s.contrib {
+		if len(s.contrib[i]) != n {
+			return nil, fmt.Errorf("mpi: reduce buffer length mismatch: rank %d has %d, rank 0 has %d", i, len(s.contrib[i]), n)
+		}
+	}
+	sum := make([]float64, n)
+	for _, c := range s.contrib {
+		for j, v := range c {
+			sum[j] += v
+		}
+	}
+	return sum, nil
+}
+
+// Reduce sums buf elementwise across ranks; the result lands in root's buf,
+// other ranks' buffers are unchanged.
+func (r *Rank) Reduce(root int, buf []float64) error {
+	if root < 0 || root >= r.world.n {
+		return fmt.Errorf("mpi: rank %d: reduce with invalid root %d", r.id, root)
+	}
+	res, err := r.world.enterCollective(r.id, r.nextCollSeq(), buf, func(s *collSlot) {
+		sum, err := sumContrib(s)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.result[root] = sum
+	})
+	if err != nil {
+		return err
+	}
+	if r.id == root {
+		copy(buf, res)
+	}
+	return nil
+}
+
+// Allreduce sums buf elementwise across ranks; every rank receives the sum.
+func (r *Rank) Allreduce(buf []float64) error {
+	res, err := r.world.enterCollective(r.id, r.nextCollSeq(), buf, func(s *collSlot) {
+		sum, err := sumContrib(s)
+		if err != nil {
+			s.err = err
+			return
+		}
+		for i := range s.result {
+			s.result[i] = sum
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+// Allgather concatenates every rank's buf in rank order into out, which
+// must have length world.Size() * len(buf).
+func (r *Rank) Allgather(buf, out []float64) error {
+	if len(out) != r.world.n*len(buf) {
+		return fmt.Errorf("mpi: rank %d: allgather out length %d, want %d", r.id, len(out), r.world.n*len(buf))
+	}
+	res, err := r.world.enterCollective(r.id, r.nextCollSeq(), buf, func(s *collSlot) {
+		n := len(s.contrib[0])
+		for i := range s.contrib {
+			if len(s.contrib[i]) != n {
+				s.err = fmt.Errorf("mpi: allgather buffer length mismatch: rank %d has %d, rank 0 has %d", i, len(s.contrib[i]), n)
+				return
+			}
+		}
+		cat := make([]float64, 0, len(s.contrib)*n)
+		for _, c := range s.contrib {
+			cat = append(cat, c...)
+		}
+		for i := range s.result {
+			s.result[i] = cat
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(out, res)
+	return nil
+}
+
+// Alltoall scatters blocks: rank r sends buf[d*blk:(d+1)*blk] to rank d and
+// receives rank s's block s*... into out[s*blk:(s+1)*blk]. len(buf) and
+// len(out) must both equal world.Size() * blk.
+func (r *Rank) Alltoall(blk int, buf, out []float64) error {
+	want := r.world.n * blk
+	if len(buf) != want || len(out) != want {
+		return fmt.Errorf("mpi: rank %d: alltoall lengths %d/%d, want %d", r.id, len(buf), len(out), want)
+	}
+	res, err := r.world.enterCollective(r.id, r.nextCollSeq(), buf, func(s *collSlot) {
+		for dst := range s.result {
+			gathered := make([]float64, 0, want)
+			for src := range s.contrib {
+				if len(s.contrib[src]) != want {
+					s.err = fmt.Errorf("mpi: alltoall buffer length mismatch at rank %d", src)
+					return
+				}
+				gathered = append(gathered, s.contrib[src][dst*blk:(dst+1)*blk]...)
+			}
+			s.result[dst] = gathered
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(out, res)
+	return nil
+}

@@ -1,0 +1,99 @@
+package overlap
+
+import "fmt"
+
+// PatternClass summarizes the shape of a measured profile — the vocabulary
+// the paper uses when discussing why real computation patterns defeat
+// automatic overlap.
+type PatternClass uint8
+
+// Profile shapes.
+const (
+	// ClassEarly: every chunk's point falls in the first quarter of the
+	// burst. For production this is the best case (data ready early); for
+	// consumption the worst (everything needed immediately).
+	ClassEarly PatternClass = iota
+	// ClassLate: every chunk's point falls in the last quarter of the
+	// burst. For production this kills early sends; for consumption it is
+	// the best case (waits can be deferred).
+	ClassLate
+	// ClassLinear: points grow roughly uniformly across the burst — the
+	// ideal sequential pattern Sancho et al. assume.
+	ClassLinear
+	// ClassScattered: anything else.
+	ClassScattered
+)
+
+// String names the class.
+func (c PatternClass) String() string {
+	switch c {
+	case ClassEarly:
+		return "early"
+	case ClassLate:
+		return "late"
+	case ClassLinear:
+		return "linear"
+	case ClassScattered:
+		return "scattered"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Classify determines the shape of a profile. Profiles with no burst or a
+// single chunk classify by position alone.
+func Classify(p *Profile) PatternClass {
+	if p == nil || len(p.Offsets) == 0 || p.Burst <= 0 {
+		return ClassScattered
+	}
+	offs := append([]int64(nil), p.Offsets...)
+	prof := Profile{Offsets: offs, Burst: p.Burst}
+	prof.Clamp()
+
+	allEarly, allLate := true, true
+	for _, o := range offs {
+		frac := float64(o) / float64(p.Burst)
+		if frac > 0.25 {
+			allEarly = false
+		}
+		if frac < 0.75 {
+			allLate = false
+		}
+	}
+	switch {
+	case allEarly:
+		return ClassEarly
+	case allLate:
+		return ClassLate
+	}
+	// Linear: offsets sorted ascending and each chunk i within a quarter
+	// burst of its ideal uniform position.
+	n := len(offs)
+	linear := true
+	for i, o := range offs {
+		if i > 0 && o < offs[i-1] {
+			linear = false
+			break
+		}
+		ideal := float64(i+1) / float64(n)
+		frac := float64(o) / float64(p.Burst)
+		if frac < ideal-0.25 || frac > ideal+0.25 {
+			linear = false
+			break
+		}
+	}
+	if linear {
+		return ClassLinear
+	}
+	return ClassScattered
+}
+
+// OverlapFriendly reports whether the profile shape permits meaningful
+// automatic overlap for its role: productions should not all be late,
+// consumptions should not all be early.
+func OverlapFriendly(production bool, c PatternClass) bool {
+	if production {
+		return c != ClassLate
+	}
+	return c != ClassEarly
+}

@@ -1,0 +1,60 @@
+package overlap
+
+import (
+	"testing"
+
+	"overlapsim/internal/memory"
+)
+
+func TestClassifyShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Profile
+		want PatternClass
+	}{
+		{"nil", nil, ClassScattered},
+		{"empty", &Profile{Burst: 100}, ClassScattered},
+		{"zero burst", &Profile{Offsets: []int64{1, 2}, Burst: 0}, ClassScattered},
+		{"early", &Profile{Offsets: []int64{0, 10, 20, 5}, Burst: 1000}, ClassEarly},
+		{"late", &Profile{Offsets: []int64{980, 990, 1000, 760}, Burst: 1000}, ClassLate},
+		{"late with unread", &Profile{Offsets: []int64{900, memory.Unread}, Burst: 1000}, ClassLate},
+		{"linear", &Profile{Offsets: []int64{250, 500, 750, 1000}, Burst: 1000}, ClassLinear},
+		{"linear with noise", &Profile{Offsets: []int64{300, 450, 800, 950}, Burst: 1000}, ClassLinear},
+		{"reverse", &Profile{Offsets: []int64{1000, 700, 400, 40}, Burst: 1000}, ClassScattered},
+		{"bimodal", &Profile{Offsets: []int64{0, 1000, 0, 1000}, Burst: 1000}, ClassScattered},
+	}
+	for _, c := range cases {
+		if got := Classify(c.p); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyNamesAndFriendliness(t *testing.T) {
+	if ClassEarly.String() != "early" || ClassLate.String() != "late" ||
+		ClassLinear.String() != "linear" || ClassScattered.String() != "scattered" {
+		t.Error("class names wrong")
+	}
+	// Production: late is hostile, everything else workable.
+	if OverlapFriendly(true, ClassLate) {
+		t.Error("late production should be overlap-hostile")
+	}
+	if !OverlapFriendly(true, ClassLinear) || !OverlapFriendly(true, ClassEarly) {
+		t.Error("linear/early production should be overlap-friendly")
+	}
+	// Consumption: early is hostile.
+	if OverlapFriendly(false, ClassEarly) {
+		t.Error("early consumption should be overlap-hostile")
+	}
+	if !OverlapFriendly(false, ClassLate) {
+		t.Error("late consumption should be overlap-friendly")
+	}
+}
+
+func TestClassifyDoesNotMutateInput(t *testing.T) {
+	p := &Profile{Offsets: []int64{memory.Unread, 2000}, Burst: 1000}
+	Classify(p)
+	if p.Offsets[0] != memory.Unread || p.Offsets[1] != 2000 {
+		t.Error("Classify mutated the input profile")
+	}
+}

@@ -1,0 +1,124 @@
+package overlap
+
+import (
+	"testing"
+
+	"overlapsim/internal/trace"
+)
+
+// prepostSet: rank 1 computes a long burst, then receives; the send is
+// posted early by rank 0. With rendezvous, the transfer cannot start until
+// the receive is posted, so preposting moves the start a full burst
+// earlier.
+func prepostSet() *ProfiledSet {
+	s := trace.NewSet("prepost", "original", 2, 1000)
+	s.Traces[0].Append(trace.Send(1, 3, 4096))
+	s.Traces[1].Append(trace.Burst(5000), trace.Recv(0, 3, 4096), trace.Burst(1000))
+	return &ProfiledSet{
+		Original:    s,
+		Chunks:      4,
+		Annotations: []map[int]Annotation{{}, {}},
+	}
+}
+
+func TestPrepostMovesPostingsBeforeBurst(t *testing.T) {
+	out, err := Transform(prepostSet(), Options{
+		Mechanisms: BothMechanisms | PrepostRecv, Pattern: PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Traces[1].Records
+	// All 4 IRecv postings must precede the first burst record.
+	irecvs := 0
+	for _, rec := range r1 {
+		if rec.Kind == trace.KindBurst {
+			break
+		}
+		if rec.Kind == trace.KindIRecv {
+			irecvs++
+		}
+	}
+	if irecvs != 4 {
+		t.Fatalf("preposted irecvs before first burst = %d, want 4: %v", irecvs, r1)
+	}
+}
+
+func TestPrepostWithoutFlagStaysAtRecvPoint(t *testing.T) {
+	out, err := Transform(prepostSet(), Options{
+		Mechanisms: BothMechanisms, Pattern: PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Traces[1].Records
+	if r1[0].Kind != trace.KindBurst || r1[0].Instr != 5000 {
+		t.Fatalf("without prepost the long burst must come first: %v", r1)
+	}
+}
+
+func TestPrepostStopsAtSameChannelRecv(t *testing.T) {
+	// Two receives on the same (peer, tag) channel: the second must not
+	// prepost past the first or FIFO matching inverts.
+	s := trace.NewSet("fifo", "original", 2, 1000)
+	s.Traces[0].Append(trace.Send(1, 7, 64), trace.Send(1, 7, 64))
+	s.Traces[1].Append(trace.Burst(1000), trace.Recv(0, 7, 64), trace.Burst(1000), trace.Recv(0, 7, 64))
+	ps := &ProfiledSet{Original: s, Chunks: 2, Annotations: []map[int]Annotation{{}, {}}}
+	out, err := Transform(ps, Options{Mechanisms: BothMechanisms | PrepostRecv, Pattern: PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	// First recv's postings prepost before the first burst; the second
+	// recv's postings must appear only after the first recv's postings.
+	r1 := out.Traces[1].Records
+	var order []int // request ids in posting order
+	for _, rec := range r1 {
+		if rec.Kind == trace.KindIRecv {
+			order = append(order, rec.Req)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("postings = %v", order)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("posting order inverted: %v", order)
+		}
+	}
+}
+
+func TestPrepostStopsAtCollective(t *testing.T) {
+	s := trace.NewSet("coll", "original", 2, 1000)
+	s.Traces[0].Append(trace.Global(trace.Barrier, 0, 0), trace.Send(1, 0, 64))
+	s.Traces[1].Append(trace.Burst(1000), trace.Global(trace.Barrier, 0, 0), trace.Recv(0, 0, 64))
+	ps := &ProfiledSet{Original: s, Chunks: 2, Annotations: []map[int]Annotation{{}, {}}}
+	out, err := Transform(ps, Options{Mechanisms: BothMechanisms | PrepostRecv, Pattern: PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Traces[1].Records
+	// Nothing may move before the collective.
+	if r1[0].Kind != trace.KindBurst || r1[1].Kind != trace.KindCollective {
+		t.Fatalf("prepost crossed a collective: %v", r1)
+	}
+}
+
+func TestMechanismStringCombos(t *testing.T) {
+	cases := []struct {
+		m    Mechanism
+		want string
+	}{
+		{BothMechanisms | PrepostRecv, "both+prepost"},
+		{EarlySend | PrepostRecv, "earlysend+prepost"},
+		{PrepostRecv, "prepost"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Mechanism(%d).String() = %q, want %q", c.m, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package paraver is the visualization stage of the environment: it renders
+// the simulated time behaviours the replayer produces so that the
+// non-overlapped and overlapped executions can be compared qualitatively,
+// the role the Paraver tool plays in the paper.
+//
+// Two outputs are supported: a Paraver-style .prv state-record dump for
+// programmatic consumption, and an ASCII Gantt chart (one row per rank, one
+// column per time bucket) for terminal inspection, including a side-by-side
+// comparison of two executions on a common time scale.
+package paraver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"overlapsim/internal/timeline"
+	"overlapsim/internal/units"
+)
+
+// stateGlyphs maps each timeline state to its Gantt cell character.
+var stateGlyphs = [timeline.NumStates]byte{
+	timeline.Compute:     '#',
+	timeline.SendBlocked: 'S',
+	timeline.RecvBlocked: 'R',
+	timeline.WaitBlocked: 'w',
+	timeline.CollBlocked: '*',
+	timeline.Overhead:    'o',
+	timeline.Idle:        '.',
+}
+
+// prvStates maps timeline states to Paraver state codes (1 = Running,
+// 3 = Waiting a message, 5 = Synchronization, 6 = Blocked, 7 = Overhead,
+// 0 = Idle).
+var prvStates = [timeline.NumStates]int{
+	timeline.Compute:     1,
+	timeline.SendBlocked: 6,
+	timeline.RecvBlocked: 3,
+	timeline.WaitBlocked: 3,
+	timeline.CollBlocked: 5,
+	timeline.Overhead:    7,
+	timeline.Idle:        0,
+}
+
+// GanttOptions controls ASCII rendering.
+type GanttOptions struct {
+	// Width is the number of time buckets per row; default 80.
+	Width int
+	// Legend appends a glyph legend after the chart.
+	Legend bool
+}
+
+func (o GanttOptions) withDefaults() GanttOptions {
+	if o.Width <= 0 {
+		o.Width = 80
+	}
+	return o
+}
+
+// RenderGantt writes an ASCII Gantt chart of the set: one row per rank,
+// each cell showing the state that dominates its time bucket.
+func RenderGantt(w io.Writer, s *timeline.Set, opts GanttOptions) error {
+	opts = opts.withDefaults()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s (%s)  total %v\n", s.Name, s.Variant, units.Duration(s.Total))
+	renderRows(bw, s, s.Total, opts.Width)
+	if opts.Legend {
+		writeLegend(bw)
+	}
+	return bw.Flush()
+}
+
+// RenderComparison writes two executions on a shared time scale so the
+// qualitative difference (the overlapped run ending earlier, stalls
+// shrinking) is directly visible — the paper's Paraver use case.
+func RenderComparison(w io.Writer, a, b *timeline.Set, opts GanttOptions) error {
+	opts = opts.withDefaults()
+	scale := a.Total
+	if b.Total > scale {
+		scale = b.Total
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s: %s vs %s  (shared scale %v)\n", a.Name, a.Variant, b.Variant, units.Duration(scale))
+	fmt.Fprintf(bw, "--- %s  total %v\n", a.Variant, units.Duration(a.Total))
+	renderRows(bw, a, scale, opts.Width)
+	fmt.Fprintf(bw, "--- %s  total %v", b.Variant, units.Duration(b.Total))
+	if a.Total > 0 && b.Total > 0 {
+		fmt.Fprintf(bw, "  (%.2fx)", float64(a.Total)/float64(b.Total))
+	}
+	fmt.Fprintln(bw)
+	renderRows(bw, b, scale, opts.Width)
+	if opts.Legend {
+		writeLegend(bw)
+	}
+	return bw.Flush()
+}
+
+func writeLegend(bw *bufio.Writer) {
+	fmt.Fprintln(bw, "legend: #=compute S=send-blocked R=recv-blocked w=wait *=collective o=overhead .=idle")
+}
+
+// renderRows draws one row per rank over [0, scale).
+func renderRows(bw *bufio.Writer, s *timeline.Set, scale units.Time, width int) {
+	if scale <= 0 {
+		scale = 1
+	}
+	for i := range s.Lines {
+		line := &s.Lines[i]
+		row := rasterize(line, scale, width)
+		fmt.Fprintf(bw, "%4d |%s|\n", line.Rank, row)
+	}
+}
+
+// rasterize buckets the rank's intervals into width cells; each cell shows
+// the state holding the largest share of the bucket, with idle filling any
+// remainder past the rank's finish time.
+func rasterize(line *timeline.Timeline, scale units.Time, width int) string {
+	cells := make([]byte, width)
+	for c := 0; c < width; c++ {
+		bucketStart := units.Time(int64(scale) * int64(c) / int64(width))
+		bucketEnd := units.Time(int64(scale) * int64(c+1) / int64(width))
+		if bucketEnd <= bucketStart {
+			bucketEnd = bucketStart + 1
+		}
+		var occupancy [timeline.NumStates]units.Duration
+		for _, iv := range line.Intervals {
+			lo, hi := iv.Start, iv.End
+			if lo < bucketStart {
+				lo = bucketStart
+			}
+			if hi > bucketEnd {
+				hi = bucketEnd
+			}
+			if hi > lo {
+				occupancy[iv.State] += hi.Sub(lo)
+			}
+		}
+		// Time past the rank's finish counts as idle.
+		if line.Finish < bucketEnd {
+			lo := line.Finish
+			if lo < bucketStart {
+				lo = bucketStart
+			}
+			occupancy[timeline.Idle] += bucketEnd.Sub(lo)
+		}
+		best, bestDur := timeline.Idle, units.Duration(-1)
+		for st := 0; st < timeline.NumStates; st++ {
+			if occupancy[st] > bestDur {
+				best, bestDur = timeline.State(st), occupancy[st]
+			}
+		}
+		cells[c] = stateGlyphs[best]
+	}
+	return string(cells)
+}
+
+// WritePRV emits the set as Paraver-style state records:
+//
+//	#Paraver (overlapsim):<total>:<nranks>
+//	1:<rank+1>:1:<rank+1>:1:<begin>:<end>:<state>
+//
+// Times are simulated nanoseconds; state codes follow Paraver conventions.
+func WritePRV(w io.Writer, s *timeline.Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#Paraver (overlapsim %s/%s):%d:%d\n", s.Name, s.Variant, int64(s.Total), len(s.Lines))
+	for i := range s.Lines {
+		line := &s.Lines[i]
+		for _, iv := range line.Intervals {
+			fmt.Fprintf(bw, "1:%d:1:%d:1:%d:%d:%d\n",
+				line.Rank+1, line.Rank+1, int64(iv.Start), int64(iv.End), prvStates[iv.State])
+		}
+		for _, ev := range line.Events {
+			// Paraver event records: 2:cpu:appl:task:thread:time:type:value.
+			fmt.Fprintf(bw, "2:%d:1:%d:1:%d:90000001:%s\n",
+				line.Rank+1, line.Rank+1, int64(ev.At), sanitize(ev.Label))
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitize(label string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ':' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, label)
+}
+
+// Summary is a quantitative per-rank profile of one execution.
+type Summary struct {
+	Name    string
+	Variant string
+	Total   units.Time
+	Rows    []SummaryRow
+}
+
+// SummaryRow is one rank's share of time per state.
+type SummaryRow struct {
+	Rank     int
+	Fraction [timeline.NumStates]float64
+}
+
+// Summarize computes per-rank state shares relative to the set total.
+func Summarize(s *timeline.Set) Summary {
+	out := Summary{Name: s.Name, Variant: s.Variant, Total: s.Total}
+	for i := range s.Lines {
+		line := &s.Lines[i]
+		row := SummaryRow{Rank: line.Rank}
+		if s.Total > 0 {
+			for st := 0; st < timeline.NumStates; st++ {
+				row.Fraction[st] = line.TimeIn(timeline.State(st)).Seconds() / units.Duration(s.Total).Seconds()
+			}
+			// Idle implicitly fills the gap after finish.
+			row.Fraction[timeline.Idle] += s.Total.Sub(line.Finish).Seconds() / units.Duration(s.Total).Seconds()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// WriteSummary renders the summary as an aligned table.
+func WriteSummary(w io.Writer, sum Summary) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s (%s)  total %v\n", sum.Name, sum.Variant, units.Duration(sum.Total))
+	fmt.Fprintf(bw, "%4s  %8s %8s %8s %8s %8s %8s %8s\n", "rank", "compute", "send", "recv", "wait", "coll", "ovhd", "idle")
+	for _, row := range sum.Rows {
+		fmt.Fprintf(bw, "%4d  %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			row.Rank,
+			100*row.Fraction[timeline.Compute],
+			100*row.Fraction[timeline.SendBlocked],
+			100*row.Fraction[timeline.RecvBlocked],
+			100*row.Fraction[timeline.WaitBlocked],
+			100*row.Fraction[timeline.CollBlocked],
+			100*row.Fraction[timeline.Overhead],
+			100*row.Fraction[timeline.Idle])
+	}
+	return bw.Flush()
+}

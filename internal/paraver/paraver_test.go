@@ -1,0 +1,224 @@
+package paraver
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/timeline"
+	"overlapsim/internal/units"
+)
+
+// demoSet builds a 2-rank set: rank 0 computes 100ns then recv-blocks
+// 100ns; rank 1 computes 200ns. Total 200ns.
+func demoSet() *timeline.Set {
+	return &timeline.Set{
+		Name:    "demo",
+		Variant: "original",
+		Total:   200,
+		Lines: []timeline.Timeline{
+			{
+				Rank: 0,
+				Intervals: []timeline.Interval{
+					{Start: 0, End: 100, State: timeline.Compute},
+					{Start: 100, End: 200, State: timeline.RecvBlocked},
+				},
+				Finish: 200,
+				Events: []timeline.Event{{At: 50, Label: "iter:1"}},
+			},
+			{
+				Rank:      1,
+				Intervals: []timeline.Interval{{Start: 0, End: 200, State: timeline.Compute}},
+				Finish:    200,
+			},
+		},
+	}
+}
+
+func TestRenderGanttShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, demoSet(), GanttOptions{Width: 10, Legend: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 ranks + legend.
+	if len(lines) != 4 {
+		t.Fatalf("output lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "demo") || !strings.Contains(lines[0], "original") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rank 0: first half compute, second half recv-blocked.
+	if !strings.Contains(lines[1], "#####RRRRR") {
+		t.Errorf("rank 0 row = %q, want #####RRRRR", lines[1])
+	}
+	if !strings.Contains(lines[2], "##########") {
+		t.Errorf("rank 1 row = %q, want all compute", lines[2])
+	}
+	if !strings.Contains(lines[3], "legend") {
+		t.Errorf("legend missing: %q", lines[3])
+	}
+}
+
+func TestRenderGanttIdleTail(t *testing.T) {
+	s := demoSet()
+	s.Lines[1].Intervals = []timeline.Interval{{Start: 0, End: 100, State: timeline.Compute}}
+	s.Lines[1].Finish = 100 // rank 1 finishes halfway
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, s, GanttOptions{Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(buf.String(), "\n")
+	if !strings.Contains(rows[2], "#####.....") {
+		t.Errorf("rank 1 idle tail missing: %q", rows[2])
+	}
+}
+
+func TestRenderComparisonSharedScale(t *testing.T) {
+	a := demoSet()
+	b := demoSet()
+	b.Variant = "overlap-linear-both-c8"
+	b.Total = 100 // the overlapped run is twice as fast
+	b.Lines[0].Intervals = []timeline.Interval{{Start: 0, End: 100, State: timeline.Compute}}
+	b.Lines[0].Finish = 100
+	b.Lines[0].Events = nil
+	b.Lines[1].Intervals = []timeline.Interval{{Start: 0, End: 100, State: timeline.Compute}}
+	b.Lines[1].Finish = 100
+
+	var buf bytes.Buffer
+	if err := RenderComparison(&buf, a, b, GanttOptions{Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2.00x") {
+		t.Errorf("speedup annotation missing:\n%s", out)
+	}
+	// The overlapped rows must show the idle tail on the shared scale.
+	if !strings.Contains(out, "#####.....") {
+		t.Errorf("shared-scale idle tail missing:\n%s", out)
+	}
+}
+
+func TestWritePRVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePRV(&buf, demoSet()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") || !strings.Contains(lines[0], ":200:2") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rank 0 compute interval: state code 1; recv-blocked: 3.
+	if lines[1] != "1:1:1:1:1:0:100:1" {
+		t.Errorf("first state record = %q", lines[1])
+	}
+	if lines[2] != "1:1:1:1:1:100:200:3" {
+		t.Errorf("second state record = %q", lines[2])
+	}
+	// Event record with the colon sanitized.
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2:") && strings.Contains(l, "iter_1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("event record missing or unsanitized:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize(demoSet())
+	if len(sum.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+	r0 := sum.Rows[0]
+	if math.Abs(r0.Fraction[timeline.Compute]-0.5) > 1e-9 {
+		t.Errorf("rank 0 compute share = %v, want 0.5", r0.Fraction[timeline.Compute])
+	}
+	if math.Abs(r0.Fraction[timeline.RecvBlocked]-0.5) > 1e-9 {
+		t.Errorf("rank 0 recv share = %v, want 0.5", r0.Fraction[timeline.RecvBlocked])
+	}
+	r1 := sum.Rows[1]
+	if math.Abs(r1.Fraction[timeline.Compute]-1.0) > 1e-9 {
+		t.Errorf("rank 1 compute share = %v, want 1.0", r1.Fraction[timeline.Compute])
+	}
+}
+
+func TestSummarizeIdleGap(t *testing.T) {
+	s := demoSet()
+	s.Lines[1].Intervals = []timeline.Interval{{Start: 0, End: 50, State: timeline.Compute}}
+	s.Lines[1].Finish = 50
+	sum := Summarize(s)
+	if math.Abs(sum.Rows[1].Fraction[timeline.Idle]-0.75) > 1e-9 {
+		t.Errorf("idle share = %v, want 0.75", sum.Rows[1].Fraction[timeline.Idle])
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, Summarize(demoSet())); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "50.0%") {
+		t.Errorf("summary table:\n%s", out)
+	}
+}
+
+func TestRasterizeZeroTotal(t *testing.T) {
+	s := &timeline.Set{Name: "empty", Variant: "original", Total: 0,
+		Lines: []timeline.Timeline{{Rank: 0}}}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, s, GanttOptions{Width: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".....") {
+		t.Errorf("zero-length set should render idle: %q", buf.String())
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, demoSet(), GanttOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// "   0 |" + 80 cells + "|"
+	if got := len(lines[1]); got != 4+2+80+1 {
+		t.Errorf("default row width = %d chars: %q", got, lines[1])
+	}
+}
+
+func TestBucketShareRounding(t *testing.T) {
+	// A 3-bucket raster of a 2-interval line: bucket 1 straddles both
+	// states; the dominant one wins.
+	s := &timeline.Set{Name: "x", Variant: "o", Total: 300,
+		Lines: []timeline.Timeline{{
+			Rank: 0,
+			Intervals: []timeline.Interval{
+				{Start: 0, End: 170, State: timeline.Compute},
+				{Start: 170, End: 300, State: timeline.CollBlocked},
+			},
+			Finish: 300,
+		}}}
+	row := rasterize(&s.Lines[0], s.Total, 3)
+	if row != "##*" {
+		t.Errorf("raster = %q, want ##*", row)
+	}
+}
+
+func TestUnitsInHeader(t *testing.T) {
+	s := demoSet()
+	s.Total = units.Time(3 * units.Microsecond)
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, s, GanttOptions{Width: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.000us") {
+		t.Errorf("header should use adaptive units: %q", buf.String())
+	}
+}

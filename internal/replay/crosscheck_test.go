@@ -1,0 +1,179 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"overlapsim/internal/analytic"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+// exchangeLoop builds the trace shape the Sancho et al. one-loop model
+// assumes: every iteration, both ranks compute C instructions and exchange
+// one message of the given size with each other.
+func exchangeLoop(iters int, instr int64, size units.Bytes) *trace.Set {
+	ts := trace.NewSet("loop", "original", 2, 1000)
+	for iter := 0; iter < iters; iter++ {
+		for r := 0; r < 2; r++ {
+			peer := 1 - r
+			ts.Traces[r].Append(
+				trace.Burst(instr),
+				trace.Send(peer, iter, size),
+				trace.Recv(peer, iter, size),
+			)
+		}
+	}
+	return ts
+}
+
+// TestReplayMatchesAnalyticOriginal replays the exact workload the
+// analytical baseline models and checks that the simulator reproduces the
+// closed form — the calibration the whole environment rests on.
+func TestReplayMatchesAnalyticOriginal(t *testing.T) {
+	const iters = 20
+	cfg := testConfig()
+	cfg.Bandwidth = 100 * units.MBPerSec
+	cfg.Latency = 5 * units.Microsecond
+
+	ts := exchangeLoop(iters, 50000, 4096) // 50us compute, ~39us wire
+	res, err := Simulate(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := analytic.FromStats(trace.Stats(ts), 1000)
+	want := model.OriginalTime(cfg)
+	got := units.Duration(res.Total)
+	diff := math.Abs(float64(got-want)) / float64(want)
+	if diff > 0.02 {
+		t.Errorf("simulated %v vs analytic %v (%.1f%% apart)", got, want, 100*diff)
+	}
+}
+
+// TestReplayMatchesAnalyticOverlapped transforms the same loop with ideal
+// patterns and checks the simulated time approaches max(compute, comm).
+func TestReplayMatchesAnalyticOverlapped(t *testing.T) {
+	const iters = 20
+	cfg := testConfig()
+	cfg.Bandwidth = 100 * units.MBPerSec
+	cfg.Latency = 5 * units.Microsecond
+
+	orig := exchangeLoop(iters, 50000, 4096)
+	ann := make([]map[int]overlap.Annotation, 2)
+	for i := range ann {
+		ann[i] = map[int]overlap.Annotation{}
+	}
+	over, err := overlap.Transform(
+		&overlap.ProfiledSet{Original: orig, Annotations: ann, Chunks: 16},
+		overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(over, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := analytic.FromStats(trace.Stats(orig), 1000)
+	want := model.OverlappedTime(cfg)
+	got := units.Duration(res.Total)
+	// Chunk-boundary effects keep the simulation above the ideal bound;
+	// within 20% of it means the mechanism works as modeled.
+	if got < want {
+		t.Errorf("simulated %v below the analytic lower bound %v", got, want)
+	}
+	if float64(got) > 1.2*float64(want) {
+		t.Errorf("simulated %v too far above analytic bound %v", got, want)
+	}
+}
+
+// TestCollectiveTimingMatchesModel replays each collective in isolation and
+// checks the simulated cost equals machine.CollectiveCost exactly.
+func TestCollectiveTimingMatchesModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.Bandwidth = 100 * units.MBPerSec
+	const nranks = 8
+	for _, op := range []trace.Collective{trace.Barrier, trace.Bcast, trace.Reduce,
+		trace.Allreduce, trace.Allgather, trace.Alltoall} {
+		ts := trace.NewSet("coll", "original", nranks, 1000)
+		for r := 0; r < nranks; r++ {
+			ts.Traces[r].Append(trace.Global(op, 2048, 0))
+		}
+		res, err := Simulate(ts, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		want := cfg.CollectiveCost(op, 2048, nranks)
+		if units.Duration(res.Total) != want {
+			t.Errorf("%v: simulated %v, model %v", op, res.Total, want)
+		}
+	}
+}
+
+// TestRendezvousChunkedPipelineCompletes exercises chunked transfers under
+// a rendezvous-everything protocol: postings must still pair up and the
+// replay must terminate with the same byte count.
+func TestRendezvousChunkedPipelineCompletes(t *testing.T) {
+	cfg := testConfig()
+	cfg.EagerThreshold = 0 // rendezvous for every chunk
+
+	orig := trace.NewSet("rdv", "original", 2, 1000)
+	orig.Traces[0].Append(trace.Burst(10000), trace.Send(1, 0, 8192))
+	orig.Traces[1].Append(trace.Recv(0, 0, 8192), trace.Burst(10000))
+	ann := []map[int]overlap.Annotation{{}, {}}
+	over, err := overlap.Transform(
+		&overlap.ProfiledSet{Original: orig, Annotations: ann, Chunks: 8},
+		overlap.Options{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(over, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.Bytes != 8192 {
+		t.Errorf("bytes delivered = %v, want 8192", res.Network.Bytes)
+	}
+	if res.Network.Transfers != 8 {
+		t.Errorf("transfers = %d, want 8 chunks", res.Network.Transfers)
+	}
+}
+
+// TestInputLinkContention mirrors the output-link test from the main suite
+// on the receive side: two senders into one receiver with one input link
+// serialize.
+func TestInputLinkContention(t *testing.T) {
+	cfg := testConfig()
+	cfg.InLinks = 1
+	ts := trace.NewSet("fanin", "original", 3, 1000)
+	ts.Traces[0].Append(trace.ISend(2, 0, 1000, 1))
+	ts.Traces[1].Append(trace.ISend(2, 1, 1000, 1))
+	ts.Traces[2].Append(trace.Recv(0, 0, 1000), trace.Recv(1, 1, 1000))
+	res, err := Simulate(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer wire 0-1us (delivery 2us); second starts at 1us,
+	// delivery 3us.
+	if res.Total != units.Time(3*units.Microsecond) {
+		t.Errorf("Total = %v, want 3us", res.Total)
+	}
+}
+
+// TestLatencyOnlyNetwork checks the latency floor: with infinite bandwidth
+// every transfer costs exactly one latency.
+func TestLatencyOnlyNetwork(t *testing.T) {
+	cfg := testConfig()
+	cfg.Bandwidth = 0 // infinite
+	cfg.Latency = 7 * units.Microsecond
+	ts := trace.NewSet("lat", "original", 2, 1000)
+	ts.Traces[0].Append(trace.Send(1, 0, 1<<20))
+	ts.Traces[1].Append(trace.Recv(0, 0, 1<<20))
+	res, err := Simulate(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != units.Time(7*units.Microsecond) {
+		t.Errorf("Total = %v, want exactly one latency", res.Total)
+	}
+}

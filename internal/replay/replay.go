@@ -1,0 +1,534 @@
+// Package replay reconstructs an application's time behaviour from its
+// traces on a configurable parallel platform — the role Dimemas plays in
+// the paper's environment.
+//
+// The simulator is a deterministic discrete-event replayer. Every rank is a
+// state machine walking its trace: computation bursts occupy the CPU for
+// instructions/MIPS, point-to-point records post transfers into a network
+// model with per-node input/output links and a shared set of buses, and
+// collectives synchronize all ranks and apply the platform's cost formula.
+// Messages at or below the eager threshold leave the sender without
+// synchronization; larger ones use a rendezvous that couples the sender to
+// the posted receive. The output is a per-rank state timeline plus network
+// statistics, ready for the visualization stage.
+package replay
+
+import (
+	"fmt"
+
+	"overlapsim/internal/des"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/timeline"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+// NetworkStats aggregates what the network did during a replay.
+type NetworkStats struct {
+	Transfers      int            // point-to-point transfers completed
+	LocalTransfers int            // subset that stayed within a node
+	Bytes          units.Bytes    // total point-to-point payload
+	BusTime        units.Duration // total wire occupancy summed over buses
+	Collectives    int            // collective operations completed
+	MaxPending     int            // peak transfers queued for resources
+}
+
+// BusUtilization returns the mean fraction of the configured buses kept
+// busy over the run; 0 when the platform has unlimited buses.
+func (n NetworkStats) BusUtilization(buses int, total units.Time) float64 {
+	if buses <= 0 || total <= 0 {
+		return 0
+	}
+	return n.BusTime.Seconds() / (float64(buses) * units.Duration(total).Seconds())
+}
+
+// RankBreakdown is the per-rank time accounting of a replay.
+type RankBreakdown struct {
+	Rank       int
+	Finish     units.Time
+	Compute    units.Duration
+	Overhead   units.Duration
+	Send       units.Duration
+	Recv       units.Duration
+	Wait       units.Duration
+	Collective units.Duration
+}
+
+// Blocked sums all communication stall time.
+func (r RankBreakdown) Blocked() units.Duration {
+	return r.Send + r.Recv + r.Wait + r.Collective
+}
+
+// Result is the outcome of replaying one trace set.
+type Result struct {
+	Total     units.Time // simulated runtime (max rank finish)
+	Timelines *timeline.Set
+	Ranks     []RankBreakdown
+	Network   NetworkStats
+	Steps     int64 // DES events executed
+}
+
+// MaxBlockedFraction returns the largest per-rank blocked-time share, a
+// platform-dependent measure of how communication-bound the execution is.
+func (r *Result) MaxBlockedFraction() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	var worst float64
+	for _, rb := range r.Ranks {
+		f := rb.Blocked().Seconds() / units.Duration(r.Total).Seconds()
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// MeanBlockedFraction returns the mean per-rank blocked-time share.
+func (r *Result) MeanBlockedFraction() float64 {
+	if r.Total <= 0 || len(r.Ranks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rb := range r.Ranks {
+		sum += rb.Blocked().Seconds() / units.Duration(r.Total).Seconds()
+	}
+	return sum / float64(len(r.Ranks))
+}
+
+// Simulate replays the trace set on the platform. The platform is auto-
+// sized to the rank count when its capacity is too small; MIPS 0 defers to
+// the rate recorded in the trace.
+func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
+	if ts == nil || ts.NRanks() == 0 {
+		return nil, fmt.Errorf("replay: empty trace set")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(ts); err != nil {
+		return nil, err
+	}
+	if cfg.Capacity() < ts.NRanks() {
+		cfg = cfg.WithNodes(ts.NRanks())
+	}
+	mips := cfg.MIPS
+	if mips == 0 {
+		mips = ts.MIPS
+	}
+
+	s := &sim{
+		eng:    des.New(),
+		cfg:    cfg,
+		mips:   mips,
+		sendQ:  map[channelKey][]*transfer{},
+		recvQ:  map[channelKey][]*transfer{},
+		outUse: make([]int, cfg.Nodes),
+		inUse:  make([]int, cfg.Nodes),
+		slots:  map[int]*collSlot{},
+	}
+	s.procs = make([]*proc, ts.NRanks())
+	for i := range s.procs {
+		s.procs[i] = &proc{
+			rank: i,
+			recs: ts.Traces[i].Records,
+			reqs: map[int]*transfer{},
+			tl:   timeline.NewBuilder(i),
+			sim:  s,
+		}
+	}
+	for _, p := range s.procs {
+		p := p
+		s.eng.Schedule(0, func() { p.advance() })
+	}
+	if err := s.eng.Run(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if err := s.checkAllFinished(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Network: s.stats, Steps: s.eng.Steps()}
+	tset := &timeline.Set{Name: ts.Name, Variant: ts.Variant}
+	for _, p := range s.procs {
+		line := p.tl.Finish(p.finish)
+		if p.finish > res.Total {
+			res.Total = p.finish
+		}
+		res.Ranks = append(res.Ranks, RankBreakdown{
+			Rank:       p.rank,
+			Finish:     p.finish,
+			Compute:    line.TimeIn(timeline.Compute),
+			Overhead:   line.TimeIn(timeline.Overhead),
+			Send:       line.TimeIn(timeline.SendBlocked),
+			Recv:       line.TimeIn(timeline.RecvBlocked),
+			Wait:       line.TimeIn(timeline.WaitBlocked),
+			Collective: line.TimeIn(timeline.CollBlocked),
+		})
+		tset.Lines = append(tset.Lines, line)
+	}
+	tset.Total = res.Total
+	res.Timelines = tset
+	if err := tset.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: internal timeline corruption: %w", err)
+	}
+	return res, nil
+}
+
+// channelKey identifies a directed message channel for FIFO matching.
+type channelKey struct {
+	src, dst, tag int
+}
+
+// transfer is one point-to-point message moving through the network model.
+// Before matching, the object represents whichever half was posted first.
+type transfer struct {
+	src, dst, tag int
+	size          units.Bytes
+	local         bool
+	eager         bool
+
+	sendPosted, recvPosted bool
+	started, delivered     bool
+
+	sender  *proc   // blocked rendezvous sender, resumed at delivery
+	waiters []*proc // procs blocked on this transfer's delivery
+}
+
+// collSlot synchronizes one collective operation across ranks. Ranks find
+// their slot by their per-rank collective counter; the trace validator
+// guarantees all ranks agree on the sequence.
+type collSlot struct {
+	idx     int
+	rec     trace.Record
+	arrived int
+	procs   []*proc
+}
+
+// sim holds the global replay state.
+type sim struct {
+	eng   *des.Engine
+	cfg   machine.Config
+	mips  units.MIPS
+	procs []*proc
+
+	sendQ, recvQ map[channelKey][]*transfer
+	pending      []*transfer // protocol-ready transfers queued for resources
+	outUse       []int       // per-node output links in use
+	inUse        []int       // per-node input links in use
+	busUse       int
+
+	slots map[int]*collSlot
+
+	stats NetworkStats
+	err   error
+}
+
+func (s *sim) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.eng.Stop()
+}
+
+func (s *sim) checkAllFinished() error {
+	var stuck []string
+	for _, p := range s.procs {
+		if !p.finished {
+			desc := "at end of trace"
+			if p.pc < len(p.recs) {
+				desc = fmt.Sprintf("record %d (%s)", p.pc, p.recs[p.pc])
+			} else if p.pc > 0 {
+				desc = fmt.Sprintf("after record %d (%s)", p.pc-1, p.recs[p.pc-1])
+			}
+			stuck = append(stuck, fmt.Sprintf("rank %d blocked %s", p.rank, desc))
+			if len(stuck) >= 8 {
+				break
+			}
+		}
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	msg := stuck[0]
+	for _, x := range stuck[1:] {
+		msg += "; " + x
+	}
+	return fmt.Errorf("replay: deadlock: %s", msg)
+}
+
+// proc is one rank's replay state machine.
+type proc struct {
+	rank         int
+	recs         []trace.Record
+	pc           int
+	reqs         map[int]*transfer
+	tl           *timeline.Builder
+	sim          *sim
+	collIdx      int
+	overheadPaid bool // the CPU overhead of recs[pc] has been charged
+	finished     bool
+	finish       units.Time
+}
+
+// payOverhead charges the per-message CPU overhead for the posting record
+// at p.pc. It returns true when the proc must yield (the overhead occupies
+// the CPU and advance resumes at the same record afterwards).
+func (p *proc) payOverhead() bool {
+	s := p.sim
+	if s.cfg.CPUOverhead <= 0 {
+		return false
+	}
+	if p.overheadPaid {
+		p.overheadPaid = false
+		return false
+	}
+	p.overheadPaid = true
+	p.tl.Enter(s.eng.Now(), timeline.Overhead)
+	p2 := p
+	s.eng.ScheduleAfter(s.cfg.CPUOverhead, func() { p2.advance() })
+	return true
+}
+
+// advance executes records until the rank blocks or its trace ends.
+func (p *proc) advance() {
+	s := p.sim
+	for p.pc < len(p.recs) {
+		rec := p.recs[p.pc]
+		switch rec.Kind {
+		case trace.KindBurst:
+			p.pc++
+			dur := s.mips.BurstDuration(rec.Instr)
+			if dur <= 0 {
+				continue
+			}
+			p.tl.Enter(s.eng.Now(), timeline.Compute)
+			p2 := p
+			s.eng.ScheduleAfter(dur, func() { p2.advance() })
+			return
+
+		case trace.KindMarker:
+			p.tl.Mark(s.eng.Now(), rec.Phase)
+			p.pc++
+
+		case trace.KindISend:
+			if p.payOverhead() {
+				return
+			}
+			p.pc++
+			t := s.postSend(p.rank, rec)
+			p.reqs[rec.Req] = t
+
+		case trace.KindSend:
+			if p.payOverhead() {
+				return
+			}
+			p.pc++
+			t := s.postSend(p.rank, rec)
+			if !t.eager && !t.delivered {
+				t.sender = p
+				p.tl.Enter(s.eng.Now(), timeline.SendBlocked)
+				return
+			}
+
+		case trace.KindIRecv:
+			if p.payOverhead() {
+				return
+			}
+			p.pc++
+			t := s.postRecv(p.rank, rec)
+			p.reqs[rec.Req] = t
+
+		case trace.KindRecv:
+			if p.payOverhead() {
+				return
+			}
+			p.pc++
+			t := s.postRecv(p.rank, rec)
+			if !t.delivered {
+				t.waiters = append(t.waiters, p)
+				p.tl.Enter(s.eng.Now(), timeline.RecvBlocked)
+				return
+			}
+
+		case trace.KindWait:
+			t, ok := p.reqs[rec.Req]
+			if !ok {
+				s.fail(fmt.Errorf("replay: rank %d waits for unknown request %d", p.rank, rec.Req))
+				return
+			}
+			p.pc++
+			if !t.delivered {
+				t.waiters = append(t.waiters, p)
+				p.tl.Enter(s.eng.Now(), timeline.WaitBlocked)
+				return
+			}
+
+		case trace.KindCollective:
+			p.pc++
+			slot, ok := s.slots[p.collIdx]
+			if !ok {
+				slot = &collSlot{idx: p.collIdx, rec: rec}
+				s.slots[p.collIdx] = slot
+			}
+			p.collIdx++
+			slot.arrived++
+			slot.procs = append(slot.procs, p)
+			p.tl.Enter(s.eng.Now(), timeline.CollBlocked)
+			if slot.arrived == len(s.procs) {
+				s.releaseCollective(slot)
+			}
+			return
+
+		default:
+			s.fail(fmt.Errorf("replay: rank %d record %d has unknown kind %v", p.rank, p.pc, rec.Kind))
+			return
+		}
+	}
+	p.finished = true
+	p.finish = s.eng.Now()
+}
+
+// releaseCollective charges the platform's collective cost and resumes all
+// participants.
+func (s *sim) releaseCollective(slot *collSlot) {
+	cost := s.cfg.CollectiveCost(slot.rec.Coll, slot.rec.Size, len(s.procs))
+	s.stats.Collectives++
+	delete(s.slots, slot.idx)
+	for _, p := range slot.procs {
+		p := p
+		s.eng.ScheduleAfter(cost, func() { p.advance() })
+	}
+}
+
+// postSend matches or enqueues the sender half of a transfer.
+func (s *sim) postSend(src int, rec trace.Record) *transfer {
+	key := channelKey{src, rec.Peer, rec.Tag}
+	var t *transfer
+	if q := s.recvQ[key]; len(q) > 0 {
+		t = q[0]
+		s.recvQ[key] = q[1:]
+	} else {
+		t = &transfer{src: src, dst: rec.Peer, tag: rec.Tag}
+		s.sendQ[key] = append(s.sendQ[key], t)
+	}
+	t.sendPosted = true
+	t.size = rec.Size
+	t.local = s.cfg.SameNode(src, rec.Peer)
+	t.eager = s.cfg.Eager(rec.Size)
+	s.maybeStart(t)
+	return t
+}
+
+// postRecv matches or enqueues the receiver half of a transfer.
+func (s *sim) postRecv(dst int, rec trace.Record) *transfer {
+	key := channelKey{rec.Peer, dst, rec.Tag}
+	var t *transfer
+	if q := s.sendQ[key]; len(q) > 0 {
+		t = q[0]
+		s.sendQ[key] = q[1:]
+	} else {
+		t = &transfer{src: rec.Peer, dst: dst, tag: rec.Tag, size: rec.Size}
+		s.recvQ[key] = append(s.recvQ[key], t)
+	}
+	t.recvPosted = true
+	s.maybeStart(t)
+	return t
+}
+
+// maybeStart checks protocol readiness and routes the transfer into the
+// network: local transfers bypass resources; remote ones queue for links
+// and a bus.
+func (s *sim) maybeStart(t *transfer) {
+	if t.started {
+		return
+	}
+	if !t.sendPosted {
+		return // receive posted first; wait for the sender
+	}
+	if !t.eager && !t.recvPosted {
+		return // rendezvous: transfer starts only once the receive exists
+	}
+	t.started = true
+	if t.local {
+		d := s.cfg.LocalLatency + s.cfg.LocalTransferTime(t.size)
+		s.eng.ScheduleAfter(d, func() { s.deliver(t) })
+		return
+	}
+	s.pending = append(s.pending, t)
+	if len(s.pending) > s.stats.MaxPending {
+		s.stats.MaxPending = len(s.pending)
+	}
+	s.drainPending()
+}
+
+// resourcesFree reports whether the transfer can occupy its links and a bus.
+func (s *sim) resourcesFree(t *transfer) bool {
+	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
+	if s.cfg.OutLinks > 0 && s.outUse[srcNode] >= s.cfg.OutLinks {
+		return false
+	}
+	if s.cfg.InLinks > 0 && s.inUse[dstNode] >= s.cfg.InLinks {
+		return false
+	}
+	if s.cfg.Buses > 0 && s.busUse >= s.cfg.Buses {
+		return false
+	}
+	return true
+}
+
+// drainPending starts every queued transfer whose resources are free, in
+// FIFO order with skipping (a blocked head does not stall unrelated pairs).
+func (s *sim) drainPending() {
+	remaining := s.pending[:0]
+	for _, t := range s.pending {
+		if s.resourcesFree(t) {
+			s.startRemote(t)
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	s.pending = remaining
+}
+
+// startRemote occupies resources and schedules the wire phase.
+func (s *sim) startRemote(t *transfer) {
+	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
+	s.outUse[srcNode]++
+	s.inUse[dstNode]++
+	s.busUse++
+	wire := s.cfg.TransferTime(t.size)
+	s.stats.BusTime += wire
+	// Resources are held for the wire time; delivery happens one latency
+	// later (the latency models end-point overheads, not bus occupancy).
+	s.eng.ScheduleAfter(wire, func() {
+		s.outUse[srcNode]--
+		s.inUse[dstNode]--
+		s.busUse--
+		s.eng.ScheduleAfter(s.cfg.Latency, func() { s.deliver(t) })
+		s.drainPending()
+	})
+}
+
+// deliver completes the transfer and resumes everything blocked on it.
+func (s *sim) deliver(t *transfer) {
+	t.delivered = true
+	s.stats.Transfers++
+	s.stats.Bytes += t.size
+	if t.local {
+		s.stats.LocalTransfers++
+	}
+	if t.sender != nil {
+		p := t.sender
+		t.sender = nil
+		p.advance()
+	}
+	for _, p := range t.waiters {
+		p := p
+		p.advance()
+	}
+	t.waiters = nil
+}

@@ -1,0 +1,168 @@
+package timeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/units"
+)
+
+func TestStateNames(t *testing.T) {
+	if Compute.String() != "compute" || CollBlocked.String() != "collective" {
+		t.Error("state names wrong")
+	}
+	if !RecvBlocked.Blocked() || Compute.Blocked() || Idle.Blocked() {
+		t.Error("Blocked classification wrong")
+	}
+	if got := State(99).String(); got != "state(99)" {
+		t.Errorf("unknown state = %q", got)
+	}
+}
+
+func TestBuilderBasicFlow(t *testing.T) {
+	b := NewBuilder(3)
+	b.Enter(0, Compute)
+	b.Enter(100, RecvBlocked)
+	b.Enter(150, Compute)
+	line := b.Finish(200)
+	if line.Rank != 3 {
+		t.Errorf("rank = %d", line.Rank)
+	}
+	if len(line.Intervals) != 3 {
+		t.Fatalf("intervals = %+v, want 3", line.Intervals)
+	}
+	if line.Intervals[1].State != RecvBlocked || line.Intervals[1].Duration() != 50 {
+		t.Errorf("middle interval = %+v", line.Intervals[1])
+	}
+	if line.Finish != 200 {
+		t.Errorf("finish = %v", line.Finish)
+	}
+	if err := line.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderMergesSameState(t *testing.T) {
+	b := NewBuilder(0)
+	b.Enter(0, Compute)
+	b.Enter(10, Compute) // re-entering the same state must not split
+	b.Enter(20, WaitBlocked)
+	b.Enter(20, Compute) // zero-length wait is dropped
+	line := b.Finish(30)
+	if len(line.Intervals) != 1 {
+		t.Fatalf("intervals = %+v, want single merged compute", line.Intervals)
+	}
+	if line.Intervals[0].Duration() != 30 {
+		t.Errorf("merged duration = %v, want 30", line.Intervals[0].Duration())
+	}
+}
+
+func TestBuilderAdjacentSameStateMerge(t *testing.T) {
+	b := NewBuilder(0)
+	b.Enter(0, Compute)
+	b.Enter(10, WaitBlocked) // zero length: dropped
+	b.Enter(10, Compute)     // resumes compute: merges with previous
+	line := b.Finish(20)
+	if len(line.Intervals) != 1 || line.Intervals[0].End != 20 {
+		t.Errorf("intervals = %+v, want one compute [0,20)", line.Intervals)
+	}
+}
+
+func TestTimeInAndBlockedTime(t *testing.T) {
+	b := NewBuilder(0)
+	b.Enter(0, Compute)
+	b.Enter(40, RecvBlocked)
+	b.Enter(60, CollBlocked)
+	b.Enter(90, Compute)
+	line := b.Finish(100)
+	if got := line.TimeIn(Compute); got != 50 {
+		t.Errorf("TimeIn(Compute) = %v, want 50", got)
+	}
+	if got := line.BlockedTime(); got != 50 {
+		t.Errorf("BlockedTime = %v, want 50", got)
+	}
+}
+
+func TestMarkEvents(t *testing.T) {
+	b := NewBuilder(0)
+	b.Enter(0, Compute)
+	b.Mark(5, "iteration 1")
+	line := b.Finish(10)
+	if len(line.Events) != 1 || line.Events[0].Label != "iteration 1" || line.Events[0].At != 5 {
+		t.Errorf("events = %+v", line.Events)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := Timeline{Rank: 0, Intervals: []Interval{{0, 10, Compute}, {10, 20, RecvBlocked}}, Finish: 20}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good timeline rejected: %v", err)
+	}
+	bad1 := Timeline{Intervals: []Interval{{10, 5, Compute}}, Finish: 20}
+	if bad1.Validate() == nil {
+		t.Error("End<Start not caught")
+	}
+	bad2 := Timeline{Intervals: []Interval{{0, 10, Compute}, {5, 20, Compute}}, Finish: 20}
+	if bad2.Validate() == nil {
+		t.Error("overlap not caught")
+	}
+	bad3 := Timeline{Intervals: []Interval{{0, 30, Compute}}, Finish: 20}
+	if bad3.Validate() == nil {
+		t.Error("interval past finish not caught")
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	s := Set{
+		Total: 100,
+		Lines: []Timeline{
+			{Rank: 0, Intervals: []Interval{{0, 100, Compute}}, Finish: 100},
+			{Rank: 1, Intervals: []Interval{{0, 50, Compute}}, Finish: 50},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Total = 80
+	if s.Validate() == nil {
+		t.Error("finish past total not caught")
+	}
+}
+
+func TestPropertyBuilderAlwaysValid(t *testing.T) {
+	// Any monotone sequence of Enter calls yields a valid timeline whose
+	// intervals exactly tile [first, finish) with no gaps.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(0)
+		now := units.Time(0)
+		b.Enter(0, Compute)
+		for i := 0; i < 50; i++ {
+			now = now.Add(units.Duration(rng.Intn(20))) // may be zero
+			b.Enter(now, State(rng.Intn(NumStates)))
+		}
+		now = now.Add(units.Duration(rng.Intn(20)))
+		line := b.Finish(now)
+		if line.Validate() != nil {
+			return false
+		}
+		// Gap-free tiling.
+		cursor := units.Time(0)
+		for _, iv := range line.Intervals {
+			if iv.Start != cursor {
+				return false
+			}
+			cursor = iv.End
+		}
+		// Total time in all states equals the finish time.
+		var sum units.Duration
+		for s := State(0); int(s) < NumStates; s++ {
+			sum += line.TimeIn(s)
+		}
+		return sum == units.Duration(now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

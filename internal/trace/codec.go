@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"overlapsim/internal/units"
+)
+
+// The text format, one record per line:
+//
+//	# comment
+//	H <nranks> <mips> <name> <variant>      (header, exactly once, first)
+//	T <rank>                                (start of a rank's record list)
+//	C <instr>
+//	S <peer> <tag> <size>
+//	R <peer> <tag> <size>
+//	IS <peer> <tag> <size> <req>
+//	IR <peer> <tag> <size> <req>
+//	W <req>
+//	G <collective> <size> <root>
+//	M <quoted phase>
+//
+// Name, variant and phase are Go-quoted so they may contain spaces.
+
+// Write encodes the set to w in the text format.
+func Write(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# overlapsim trace: %s (%s)\n", s.Name, s.Variant)
+	fmt.Fprintf(bw, "H %d %g %s %s\n", s.NRanks(), float64(s.MIPS),
+		strconv.Quote(s.Name), strconv.Quote(s.Variant))
+	for i := range s.Traces {
+		t := &s.Traces[i]
+		fmt.Fprintf(bw, "T %d\n", t.Rank)
+		for _, r := range t.Records {
+			if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+				return fmt.Errorf("trace: write: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a set from the text format.
+func Read(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var set *Set
+	var cur *Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, args := fields[0], fields[1:]
+		fail := func(msg string) error {
+			return fmt.Errorf("trace: line %d: %s: %q", lineNo, msg, line)
+		}
+		if op == "H" {
+			if set != nil {
+				return nil, fail("duplicate header")
+			}
+			if len(args) < 4 {
+				return nil, fail("short header")
+			}
+			nranks, err := strconv.Atoi(args[0])
+			if err != nil || nranks <= 0 {
+				return nil, fail("bad rank count")
+			}
+			mips, err := strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				return nil, fail("bad MIPS")
+			}
+			// Name and variant are the two quoted strings at the end of the
+			// line; re-split on quotes to tolerate embedded spaces.
+			rest := line[strings.Index(line, args[2]):]
+			name, rest2, err := unquoteFirst(rest)
+			if err != nil {
+				return nil, fail("bad name")
+			}
+			variant, _, err := unquoteFirst(rest2)
+			if err != nil {
+				return nil, fail("bad variant")
+			}
+			set = NewSet(name, variant, nranks, units.MIPS(mips))
+			continue
+		}
+		if set == nil {
+			return nil, fail("record before header")
+		}
+		if op == "T" {
+			if len(args) != 1 {
+				return nil, fail("bad rank line")
+			}
+			rank, err := strconv.Atoi(args[0])
+			if err != nil || rank < 0 || rank >= set.NRanks() {
+				return nil, fail("rank out of range")
+			}
+			cur = &set.Traces[rank]
+			continue
+		}
+		if cur == nil {
+			return nil, fail("record before rank line")
+		}
+		rec, err := parseRecord(op, args, line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		cur.Records = append(cur.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if set == nil {
+		return nil, fmt.Errorf("trace: empty input (no header)")
+	}
+	return set, nil
+}
+
+// unquoteFirst extracts the leading Go-quoted string from s and returns it
+// along with the remainder of s.
+func unquoteFirst(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("expected quoted string in %q", s)
+	}
+	// Find the closing quote, honoring backslash escapes.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			out, err := strconv.Unquote(s[:i+1])
+			return out, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+func parseRecord(op string, args []string, line string) (Record, error) {
+	ints := func(n int) ([]int64, error) {
+		if len(args) != n {
+			return nil, fmt.Errorf("record %q wants %d args: %q", op, n, line)
+		}
+		out := make([]int64, n)
+		for i, a := range args {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad integer %q: %q", a, line)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch op {
+	case "C":
+		v, err := ints(1)
+		if err != nil {
+			return Record{}, err
+		}
+		return Burst(v[0]), nil
+	case "S", "R":
+		v, err := ints(3)
+		if err != nil {
+			return Record{}, err
+		}
+		if op == "S" {
+			return Send(int(v[0]), int(v[1]), units.Bytes(v[2])), nil
+		}
+		return Recv(int(v[0]), int(v[1]), units.Bytes(v[2])), nil
+	case "IS", "IR":
+		v, err := ints(4)
+		if err != nil {
+			return Record{}, err
+		}
+		if op == "IS" {
+			return ISend(int(v[0]), int(v[1]), units.Bytes(v[2]), int(v[3])), nil
+		}
+		return IRecv(int(v[0]), int(v[1]), units.Bytes(v[2]), int(v[3])), nil
+	case "W":
+		v, err := ints(1)
+		if err != nil {
+			return Record{}, err
+		}
+		return Wait(int(v[0])), nil
+	case "G":
+		if len(args) != 3 {
+			return Record{}, fmt.Errorf("collective wants 3 args: %q", line)
+		}
+		coll, err := ParseCollective(args[0])
+		if err != nil {
+			return Record{}, err
+		}
+		size, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad collective size: %q", line)
+		}
+		root, err := strconv.Atoi(args[2])
+		if err != nil {
+			return Record{}, fmt.Errorf("bad collective root: %q", line)
+		}
+		return Global(coll, units.Bytes(size), root), nil
+	case "M":
+		phase, _, err := unquoteFirst(strings.TrimPrefix(line, "M"))
+		if err != nil {
+			return Record{}, fmt.Errorf("bad marker: %q", line)
+		}
+		return Marker(phase), nil
+	default:
+		return Record{}, fmt.Errorf("unknown record %q: %q", op, line)
+	}
+}

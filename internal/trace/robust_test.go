@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReaderNeverPanicsOnGarbage feeds the codec random byte soup and
+// line-structured garbage: it must return errors, never panic.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked on %q: %v", data, r)
+			}
+		}()
+		_, _ = Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderNeverPanicsOnMangledValid mutates a valid encoding in random
+// ways — truncation, byte flips, line shuffles — and checks the decoder
+// fails cleanly or returns a set, never panics.
+func TestReaderNeverPanicsOnMangledValid(t *testing.T) {
+	s := NewSet("victim", "original", 2, 1000)
+	s.Traces[0].Append(Burst(100), ISend(1, 2, 512, 1), Global(Allreduce, 8, 0), Marker("m"))
+	s.Traces[1].Append(Recv(0, 2, 512), Burst(50), Global(Allreduce, 8, 0))
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+
+	f := func(seed int64) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked (seed %d): %v", seed, r)
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		data := []byte(valid)
+		switch rng.Intn(3) {
+		case 0: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 1: // flip random bytes
+			for i := 0; i < 5; i++ {
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			}
+		default: // shuffle lines
+			lines := strings.Split(valid, "\n")
+			rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+			data = []byte(strings.Join(lines, "\n"))
+		}
+		_, _ = Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateNeverPanicsOnDecoded runs Validate over anything the decoder
+// accepts from mangled input: decoded-but-weird sets must be judged, not
+// crash.
+func TestValidateNeverPanicsOnDecoded(t *testing.T) {
+	inputs := []string{
+		"H 1 0 \"a\" \"b\"\nT 0\nC 0\n",
+		"H 2 1e300 \"a\" \"b\"\nT 0\nS 1 0 9223372036854775807\nT 1\nR 0 0 9223372036854775807\n",
+		"H 3 -5 \"x\" \"y\"\nT 2\nG barrier 0 2\nT 0\nG barrier 0 2\nT 1\nG barrier 0 2\n",
+		"H 1 1 \"\" \"\"\nT 0\nM \"\"\n",
+	}
+	for _, in := range inputs {
+		set, err := Read(strings.NewReader(in))
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Validate panicked on %q: %v", in, r)
+				}
+			}()
+			_ = Validate(set)
+			_ = Stats(set)
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import "overlapsim/internal/units"
+
+// RankStats summarizes one rank's trace independently of any platform.
+type RankStats struct {
+	Rank          int
+	Instructions  int64       // total computation, in instructions
+	BytesSent     units.Bytes // point-to-point payload leaving the rank
+	BytesReceived units.Bytes // point-to-point payload arriving at the rank
+	MessagesSent  int
+	MessagesRecvd int
+	Collectives   int
+	Records       int
+}
+
+// SetStats aggregates RankStats over a whole set.
+type SetStats struct {
+	Ranks         []RankStats
+	Instructions  int64       // sum over ranks
+	Bytes         units.Bytes // total point-to-point payload (counted once)
+	Messages      int         // total point-to-point messages (counted once)
+	Collectives   int         // per-rank collective entries
+	MaxRankInstr  int64       // critical-path lower bound on computation
+	ComputeTime   units.Duration
+	LargestMsg    units.Bytes
+	SmallestMsg   units.Bytes
+	MeanMsgSize   units.Bytes
+	RecordsTotal  int
+	VariantName   string
+	AppName       string
+	NumberOfRanks int
+}
+
+// Stats computes summary statistics for the set. ComputeTime uses the set's
+// MIPS rate and the maximum per-rank instruction count, which is the lower
+// bound on runtime imposed by computation alone.
+func Stats(s *Set) SetStats {
+	out := SetStats{
+		VariantName:   s.Variant,
+		AppName:       s.Name,
+		NumberOfRanks: s.NRanks(),
+		SmallestMsg:   -1,
+	}
+	for i := range s.Traces {
+		t := &s.Traces[i]
+		rs := RankStats{Rank: t.Rank, Records: len(t.Records)}
+		for _, r := range t.Records {
+			switch r.Kind {
+			case KindBurst:
+				rs.Instructions += r.Instr
+			case KindSend, KindISend:
+				rs.BytesSent += r.Size
+				rs.MessagesSent++
+				if r.Size > out.LargestMsg {
+					out.LargestMsg = r.Size
+				}
+				if out.SmallestMsg < 0 || r.Size < out.SmallestMsg {
+					out.SmallestMsg = r.Size
+				}
+			case KindRecv, KindIRecv:
+				rs.BytesReceived += r.Size
+				rs.MessagesRecvd++
+			case KindCollective:
+				rs.Collectives++
+			}
+		}
+		out.Ranks = append(out.Ranks, rs)
+		out.Instructions += rs.Instructions
+		out.Bytes += rs.BytesSent
+		out.Messages += rs.MessagesSent
+		out.Collectives += rs.Collectives
+		out.RecordsTotal += rs.Records
+		if rs.Instructions > out.MaxRankInstr {
+			out.MaxRankInstr = rs.Instructions
+		}
+	}
+	if out.SmallestMsg < 0 {
+		out.SmallestMsg = 0
+	}
+	if out.Messages > 0 {
+		out.MeanMsgSize = out.Bytes / units.Bytes(out.Messages)
+	}
+	out.ComputeTime = s.MIPS.BurstDuration(out.MaxRankInstr)
+	return out
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks structural well-formedness of a trace set:
+//
+//   - rank indices match trace positions, peers are in range, no self-sends;
+//   - sizes and burst lengths are non-negative;
+//   - Wait records reference a previously posted request, each at most once;
+//   - the multiset of point-to-point sends equals the multiset of receives
+//     (matched by src, dst, tag, size);
+//   - every rank executes the same sequence of collectives (operation, size
+//     and root must agree position by position).
+//
+// It returns nil when the set is consistent, otherwise an error describing
+// the first few problems found.
+func Validate(s *Set) error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		if len(problems) < 16 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+
+	type edge struct {
+		src, dst, tag int
+		size          int64
+	}
+	sends := map[edge]int{}
+	recvs := map[edge]int{}
+	var collSeqs [][]Record
+
+	for i := range s.Traces {
+		t := &s.Traces[i]
+		if t.Rank != i {
+			addf("trace %d has rank %d", i, t.Rank)
+		}
+		posted := map[int]bool{}
+		waited := map[int]bool{}
+		var colls []Record
+		for j, r := range t.Records {
+			where := fmt.Sprintf("rank %d record %d (%s)", i, j, r)
+			switch r.Kind {
+			case KindBurst:
+				if r.Instr < 0 {
+					addf("%s: negative burst", where)
+				}
+			case KindSend, KindISend:
+				if r.Peer < 0 || r.Peer >= s.NRanks() {
+					addf("%s: peer out of range", where)
+					continue
+				}
+				if r.Peer == i {
+					addf("%s: self-send", where)
+				}
+				if r.Size < 0 {
+					addf("%s: negative size", where)
+				}
+				sends[edge{i, r.Peer, r.Tag, int64(r.Size)}]++
+				if r.Kind == KindISend {
+					if posted[r.Req] {
+						addf("%s: duplicate request id %d", where, r.Req)
+					}
+					posted[r.Req] = true
+				}
+			case KindRecv, KindIRecv:
+				if r.Peer < 0 || r.Peer >= s.NRanks() {
+					addf("%s: peer out of range", where)
+					continue
+				}
+				if r.Size < 0 {
+					addf("%s: negative size", where)
+				}
+				recvs[edge{r.Peer, i, r.Tag, int64(r.Size)}]++
+				if r.Kind == KindIRecv {
+					if posted[r.Req] {
+						addf("%s: duplicate request id %d", where, r.Req)
+					}
+					posted[r.Req] = true
+				}
+			case KindWait:
+				if !posted[r.Req] {
+					addf("%s: wait for unposted request %d", where, r.Req)
+				}
+				if waited[r.Req] {
+					addf("%s: request %d waited twice", where, r.Req)
+				}
+				waited[r.Req] = true
+			case KindCollective:
+				if r.Root < 0 || r.Root >= s.NRanks() {
+					addf("%s: root out of range", where)
+				}
+				colls = append(colls, r)
+			case KindMarker:
+				// always fine
+			default:
+				addf("%s: unknown kind", where)
+			}
+		}
+		collSeqs = append(collSeqs, colls)
+	}
+
+	// Point-to-point matching.
+	keys := make([]edge, 0, len(sends)+len(recvs))
+	for k := range sends {
+		keys = append(keys, k)
+	}
+	for k := range recvs {
+		if _, dup := sends[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.src != kb.src {
+			return ka.src < kb.src
+		}
+		if ka.dst != kb.dst {
+			return ka.dst < kb.dst
+		}
+		if ka.tag != kb.tag {
+			return ka.tag < kb.tag
+		}
+		return ka.size < kb.size
+	})
+	for _, k := range keys {
+		if sends[k] != recvs[k] {
+			addf("p2p mismatch %d->%d tag %d size %d: %d sends, %d recvs",
+				k.src, k.dst, k.tag, k.size, sends[k], recvs[k])
+		}
+	}
+
+	// Collective agreement across ranks.
+	if len(collSeqs) > 0 {
+		ref := collSeqs[0]
+		for rank := 1; rank < len(collSeqs); rank++ {
+			seq := collSeqs[rank]
+			if len(seq) != len(ref) {
+				addf("rank %d executes %d collectives, rank 0 executes %d", rank, len(seq), len(ref))
+				continue
+			}
+			for j := range seq {
+				if seq[j].Coll != ref[j].Coll || seq[j].Root != ref[j].Root {
+					addf("rank %d collective %d is %s root %d, rank 0 has %s root %d",
+						rank, j, seq[j].Coll, seq[j].Root, ref[j].Coll, ref[j].Root)
+				}
+			}
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	msg := problems[0]
+	for _, p := range problems[1:] {
+		msg += "; " + p
+	}
+	return fmt.Errorf("trace: invalid set %q/%q: %s", s.Name, s.Variant, msg)
+}

@@ -1,0 +1,177 @@
+package tracer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/memory"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+)
+
+// randomApp builds an application with a randomized but deadlock-free
+// communication schedule: a sequence of rounds, each either a ring pass, a
+// pairwise exchange, a collective, or pure computation, with random sizes
+// and random access patterns. It stresses the whole pipeline the way no
+// hand-written kernel does.
+type randomApp struct {
+	seed   int64
+	ranks  int
+	rounds int
+}
+
+func (a randomApp) Name() string { return fmt.Sprintf("random-%d", a.seed) }
+func (a randomApp) Ranks() int   { return a.ranks }
+
+func (a randomApp) Run(p *Proc) error {
+	// Every rank derives the same schedule from the shared seed, so the
+	// communication always matches up.
+	rng := rand.New(rand.NewSource(a.seed))
+	buf := p.NewBuffer("payload", 512)
+	for round := 0; round < a.rounds; round++ {
+		kind := rng.Intn(4)
+		size := rng.Intn(256) + 1
+		cost := int64(rng.Intn(50) + 1)
+		switch kind {
+		case 0: // ring pass
+			next := (p.Rank() + 1) % p.Size()
+			prev := (p.Rank() + p.Size() - 1) % p.Size()
+			for i := 0; i < size; i++ {
+				p.Compute(cost)
+				buf.Store(i, float64(i))
+			}
+			if err := p.Send(buf, 0, size, next, round); err != nil {
+				return err
+			}
+			if err := p.Recv(buf, 256, 256+size, prev, round); err != nil {
+				return err
+			}
+			for i := 256; i < 256+size; i++ {
+				p.Compute(cost)
+				buf.Load(i)
+			}
+		case 1: // pairwise exchange (even-odd)
+			peer := p.Rank() ^ 1
+			if peer < p.Size() {
+				for i := 0; i < size; i++ {
+					p.Compute(cost)
+					buf.Store(i, 1)
+				}
+				if err := p.Send(buf, 0, size, peer, round); err != nil {
+					return err
+				}
+				if err := p.Recv(buf, 256, 256+size, peer, round); err != nil {
+					return err
+				}
+			} else {
+				p.Compute(cost * int64(size))
+			}
+		case 2: // collective
+			switch rng.Intn(3) {
+			case 0:
+				if err := p.Barrier(); err != nil {
+					return err
+				}
+			case 1:
+				if err := p.Allreduce(buf, 0, 4); err != nil {
+					return err
+				}
+			default:
+				if err := p.Bcast(buf, 0, 8, 0); err != nil {
+					return err
+				}
+			}
+		default: // pure compute
+			p.Compute(cost * int64(size))
+		}
+	}
+	return nil
+}
+
+func TestPropertyRandomSchedulesFullPipeline(t *testing.T) {
+	// Random applications trace, validate, transform under every option
+	// combination, and replay without error; instructions and bytes are
+	// conserved through the whole pipeline.
+	f := func(seedU uint32, ranksU, roundsU uint8) bool {
+		app := randomApp{
+			seed:   int64(seedU),
+			ranks:  int(ranksU)%3*2 + 2, // 2, 4 or 6
+			rounds: int(roundsU)%6 + 1,
+		}
+		ps, err := Trace(app, Options{Chunks: 4})
+		if err != nil {
+			t.Logf("trace: %v", err)
+			return false
+		}
+		if err := trace.Validate(ps.Original); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		origStats := trace.Stats(ps.Original)
+		cfg := machine.Default()
+		if _, err := replay.Simulate(ps.Original, cfg); err != nil {
+			t.Logf("replay original: %v", err)
+			return false
+		}
+		for _, mech := range []overlap.Mechanism{overlap.BothMechanisms, overlap.BothMechanisms | overlap.PrepostRecv} {
+			for _, pat := range []overlap.Pattern{overlap.PatternReal, overlap.PatternLinear} {
+				ts, err := overlap.Transform(ps, overlap.Options{Mechanisms: mech, Pattern: pat})
+				if err != nil {
+					t.Logf("transform: %v", err)
+					return false
+				}
+				st := trace.Stats(ts)
+				if st.Instructions != origStats.Instructions || st.Bytes != origStats.Bytes {
+					t.Logf("conservation violated: %v/%v vs %v/%v",
+						st.Instructions, st.Bytes, origStats.Instructions, origStats.Bytes)
+					return false
+				}
+				res, err := replay.Simulate(ts, cfg)
+				if err != nil {
+					t.Logf("replay variant: %v", err)
+					return false
+				}
+				if res.Network.Bytes != origStats.Bytes {
+					t.Logf("delivered bytes %v != trace bytes %v", res.Network.Bytes, origStats.Bytes)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomScheduleProfilesWithinBursts(t *testing.T) {
+	// Whatever the schedule, every annotation's offsets lie inside its
+	// burst after clamping and reference a real record.
+	app := randomApp{seed: 12345, ranks: 4, rounds: 8}
+	ps, err := Trace(app, Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, ann := range ps.Annotations {
+		for idx, a := range ann {
+			if idx >= len(ps.Original.Traces[rank].Records) {
+				t.Fatalf("rank %d annotation at %d beyond trace length", rank, idx)
+			}
+			for _, prof := range []*overlap.Profile{a.Production, a.Consumption} {
+				if prof == nil {
+					continue
+				}
+				for c, off := range prof.Offsets {
+					if off != memory.Unread && (off < 0 || off > prof.Burst) {
+						t.Errorf("rank %d record %d chunk %d offset %d outside burst %d",
+							rank, idx, c, off, prof.Burst)
+					}
+				}
+			}
+		}
+	}
+}

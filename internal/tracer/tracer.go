@@ -1,0 +1,395 @@
+// Package tracer implements the paper's tracing tool: it executes an MPI
+// application once on the in-process runtime, with every rank instrumented,
+// and extracts from that single run
+//
+//   - the trace of the original (non-overlapped) execution, as computation
+//     and communication records, and
+//   - the per-message production/consumption profiles needed to generate
+//     the overlapped (potential) traces.
+//
+// In the paper the instrumentation is a Valgrind tool wrapping MPI calls
+// and tracking loads/stores; here applications call communication through
+// Proc (the wrapped MPI interface) and compute on tracked buffers (the
+// load/store interface), which yields exactly the same signals. Timestamps
+// are instruction counts in computation bursts, later scaled by a MIPS rate
+// — the paper's deliberate abstraction that isolates the study from cache,
+// MPI-overhead and preemption effects.
+package tracer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/mpi"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/units"
+)
+
+// ElemBytes is the wire size of one buffer element (float64).
+const ElemBytes = 8
+
+// App is an application the tracer can run: a name, a rank count, and the
+// per-rank body executed against the instrumented interface.
+type App interface {
+	Name() string
+	Ranks() int
+	Run(p *Proc) error
+}
+
+// Options configures a tracing run.
+type Options struct {
+	// Chunks is the message-partition granularity profiled per message.
+	// Defaults to 8.
+	Chunks int
+	// MIPS is the instruction-to-time scale recorded in the trace,
+	// standing in for "the average MIPS rate observed in a real run".
+	// Defaults to 1000.
+	MIPS units.MIPS
+	// Timeout guards the underlying runtime against application
+	// deadlocks. Defaults to 30s.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Chunks == 0 {
+		o.Chunks = 8
+	}
+	if o.Chunks < 1 || o.Chunks > overlap.MaxChunks {
+		o.Chunks = 8
+	}
+	if o.MIPS == 0 {
+		o.MIPS = 1000
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Trace executes the application once and returns the profiled trace set:
+// the original trace plus the annotations from which overlap.Transform
+// derives every overlapped variant.
+func Trace(app App, opts Options) (*overlap.ProfiledSet, error) {
+	opts = opts.withDefaults()
+	n := app.Ranks()
+	if n <= 0 {
+		return nil, fmt.Errorf("tracer: app %q wants %d ranks", app.Name(), n)
+	}
+	world, err := mpi.NewWorld(n, mpi.WithTimeout(opts.Timeout))
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]*Proc, n)
+	var mu sync.Mutex
+	err = world.Run(func(r *mpi.Rank) error {
+		p := newProc(r, opts.Chunks)
+		mu.Lock()
+		procs[r.ID()] = p
+		mu.Unlock()
+		if err := app.Run(p); err != nil {
+			return fmt.Errorf("tracer: app %q rank %d: %w", app.Name(), r.ID(), err)
+		}
+		p.finishTrace()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	set := trace.NewSet(app.Name(), "original", n, opts.MIPS)
+	ann := make([]map[int]overlap.Annotation, n)
+	for i, p := range procs {
+		set.Traces[i].Records = p.tr.Records
+		set.Traces[i].Rank = i
+		ann[i] = p.ann
+	}
+	if err := trace.Validate(set); err != nil {
+		return nil, fmt.Errorf("tracer: app %q produced an inconsistent trace: %w", app.Name(), err)
+	}
+	return &overlap.ProfiledSet{Original: set, Annotations: ann, Chunks: opts.Chunks}, nil
+}
+
+// pendingCons is a receive whose consumption burst has not happened yet.
+type pendingCons struct {
+	recIdx int
+	buf    *memory.Buffer
+	lo, hi int
+}
+
+// Proc is the instrumented per-rank interface applications are written
+// against: tracked memory, an instruction counter, and wrapped MPI calls.
+type Proc struct {
+	rank   *mpi.Rank
+	mem    *memory.Tracker
+	chunks int
+
+	tr         trace.Trace
+	ann        map[int]overlap.Annotation
+	burstStart int64 // instruction count when the current burst began
+	pending    []pendingCons
+
+	// prodValid is true while sends can be annotated against the last
+	// closed burst (no receive or collective has intervened since).
+	prodValid      bool
+	lastBurstLen   int64
+	lastBurstStart int64
+}
+
+func newProc(r *mpi.Rank, chunks int) *Proc {
+	return &Proc{
+		rank:   r,
+		mem:    memory.NewTracker(),
+		chunks: chunks,
+		tr:     trace.Trace{Rank: r.ID()},
+		ann:    map[int]overlap.Annotation{},
+	}
+}
+
+// Rank returns the process rank.
+func (p *Proc) Rank() int { return p.rank.ID() }
+
+// Size returns the number of ranks in the run.
+func (p *Proc) Size() int { return p.rank.Size() }
+
+// NewBuffer allocates a tracked buffer of n float64 elements.
+func (p *Proc) NewBuffer(name string, n int) *memory.Buffer {
+	return p.mem.NewBuffer(name, n)
+}
+
+// Compute accounts n instructions of computation that the kernel performs
+// besides its tracked loads and stores.
+func (p *Proc) Compute(n int64) { p.mem.AddInstructions(n) }
+
+// Instructions returns the rank's instruction counter.
+func (p *Proc) Instructions() int64 { return p.mem.Instructions() }
+
+// Marker records a zero-cost phase label in the trace.
+func (p *Proc) Marker(phase string) {
+	p.closeBurst(false)
+	p.tr.Append(trace.Marker(phase))
+}
+
+// closeBurst finalizes the running computation burst: it resolves pending
+// consumption profiles (when real computation happened), emits the burst
+// record, and opens a new consumption epoch. dropPending discards open
+// consumptions instead (used at collectives, which break the production/
+// consumption relationship across them).
+func (p *Proc) closeBurst(dropPending bool) {
+	burst := p.mem.Instructions() - p.burstStart
+	if burst > 0 {
+		for _, pc := range p.pending {
+			offs, err := pc.buf.ConsumptionProfile(pc.lo, pc.hi, p.chunks)
+			if err != nil {
+				continue // region became invalid; leave unannotated
+			}
+			rel := make([]int64, len(offs))
+			for i, o := range offs {
+				if o == memory.Unread {
+					rel[i] = memory.Unread
+				} else {
+					rel[i] = o - p.burstStart
+				}
+			}
+			prof := &overlap.Profile{Offsets: rel, Burst: burst}
+			prof.Clamp()
+			a := p.ann[pc.recIdx]
+			a.Consumption = prof
+			p.ann[pc.recIdx] = a
+		}
+		p.pending = p.pending[:0]
+		p.tr.Append(trace.Burst(burst))
+		p.lastBurstLen = burst
+		p.lastBurstStart = p.burstStart
+		p.burstStart = p.mem.Instructions()
+		p.prodValid = true
+	}
+	if dropPending {
+		p.pending = p.pending[:0]
+	}
+	p.mem.BeginEpoch()
+}
+
+// Send transmits buf[lo:hi) to dst with the given tag, recording the
+// communication and the region's production profile.
+func (p *Proc) Send(buf *memory.Buffer, lo, hi, dst, tag int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("tracer: negative tag %d", tag)
+	}
+	p.closeBurst(false)
+
+	idx := len(p.tr.Records)
+	p.tr.Append(trace.Send(dst, tag, units.Bytes(hi-lo)*ElemBytes))
+	if p.prodValid && p.lastBurstLen > 0 {
+		offs, err := buf.ProductionProfile(lo, hi, p.chunks)
+		if err == nil {
+			rel := make([]int64, len(offs))
+			for i, o := range offs {
+				rel[i] = o - p.lastBurstStart
+			}
+			prof := &overlap.Profile{Offsets: rel, Burst: p.lastBurstLen}
+			prof.Clamp()
+			a := p.ann[idx]
+			a.Production = prof
+			p.ann[idx] = a
+		}
+	}
+	return p.rank.Send(dst, tag, buf.Raw()[lo:hi])
+}
+
+// Recv receives into buf[lo:hi) from src with the given tag, recording the
+// communication and opening the region's consumption profiling.
+func (p *Proc) Recv(buf *memory.Buffer, lo, hi, src, tag int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("tracer: negative tag %d", tag)
+	}
+	p.closeBurst(false)
+	p.prodValid = false
+
+	idx := len(p.tr.Records)
+	p.tr.Append(trace.Recv(src, tag, units.Bytes(hi-lo)*ElemBytes))
+	tmp := make([]float64, hi-lo)
+	if err := p.rank.Recv(src, tag, tmp); err != nil {
+		return err
+	}
+	buf.FillRaw(lo, tmp)
+	p.pending = append(p.pending, pendingCons{recIdx: idx, buf: buf, lo: lo, hi: hi})
+	return nil
+}
+
+// Exchange performs the send and receive halves of a halo swap without
+// deadlocking: the send departs non-blockingly (eager, as the runtime
+// guarantees), then the receive blocks. The trace records the same
+// structure the application executed: a send followed by a receive.
+func (p *Proc) Exchange(sendBuf *memory.Buffer, slo, shi, dst, stag int,
+	recvBuf *memory.Buffer, rlo, rhi, src, rtag int) error {
+	if err := p.Send(sendBuf, slo, shi, dst, stag); err != nil {
+		return err
+	}
+	return p.Recv(recvBuf, rlo, rhi, src, rtag)
+}
+
+// Barrier synchronizes all ranks.
+func (p *Proc) Barrier() error {
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Barrier, 0, 0))
+	return p.rank.Barrier()
+}
+
+// Allreduce sums buf[lo:hi) elementwise across all ranks; every rank
+// receives the sum.
+func (p *Proc) Allreduce(buf *memory.Buffer, lo, hi int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Allreduce, units.Bytes(hi-lo)*ElemBytes, 0))
+	tmp := append([]float64(nil), buf.Raw()[lo:hi]...)
+	if err := p.rank.Allreduce(tmp); err != nil {
+		return err
+	}
+	buf.FillRaw(lo, tmp)
+	return nil
+}
+
+// Bcast copies root's buf[lo:hi) to every rank.
+func (p *Proc) Bcast(buf *memory.Buffer, lo, hi, root int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Bcast, units.Bytes(hi-lo)*ElemBytes, root))
+	tmp := append([]float64(nil), buf.Raw()[lo:hi]...)
+	if err := p.rank.Bcast(root, tmp); err != nil {
+		return err
+	}
+	buf.FillRaw(lo, tmp)
+	return nil
+}
+
+// Reduce sums buf[lo:hi) elementwise onto root.
+func (p *Proc) Reduce(buf *memory.Buffer, lo, hi, root int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Reduce, units.Bytes(hi-lo)*ElemBytes, root))
+	tmp := append([]float64(nil), buf.Raw()[lo:hi]...)
+	if err := p.rank.Reduce(root, tmp); err != nil {
+		return err
+	}
+	if p.rank.ID() == root {
+		buf.FillRaw(lo, tmp)
+	}
+	return nil
+}
+
+// Allgather concatenates every rank's buf[lo:hi) in rank order into out,
+// which must hold Size()*(hi-lo) elements.
+func (p *Proc) Allgather(buf *memory.Buffer, lo, hi int, out *memory.Buffer) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	want := p.rank.Size() * (hi - lo)
+	if out == nil || out.Len() < want {
+		return fmt.Errorf("tracer: allgather output buffer too small: need %d elements", want)
+	}
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Allgather, units.Bytes(hi-lo)*ElemBytes, 0))
+	tmp := make([]float64, want)
+	if err := p.rank.Allgather(buf.Raw()[lo:hi], tmp); err != nil {
+		return err
+	}
+	out.FillRaw(0, tmp)
+	return nil
+}
+
+// Alltoall scatters buf[lo:hi) in Size() equal blocks: block d goes to rank
+// d, and the blocks received from every rank land back in buf[lo:hi) in
+// rank order. The region length must be divisible by the rank count.
+func (p *Proc) Alltoall(buf *memory.Buffer, lo, hi int) error {
+	if err := checkRegion(buf, lo, hi); err != nil {
+		return err
+	}
+	n := hi - lo
+	if n%p.rank.Size() != 0 {
+		return fmt.Errorf("tracer: alltoall region %d not divisible by %d ranks", n, p.rank.Size())
+	}
+	blk := n / p.rank.Size()
+	p.closeBurst(true)
+	p.prodValid = false
+	p.tr.Append(trace.Global(trace.Alltoall, units.Bytes(blk)*ElemBytes, 0))
+	tmp := append([]float64(nil), buf.Raw()[lo:hi]...)
+	out := make([]float64, n)
+	if err := p.rank.Alltoall(blk, tmp, out); err != nil {
+		return err
+	}
+	buf.FillRaw(lo, out)
+	return nil
+}
+
+// finishTrace closes the final burst after the application body returns.
+func (p *Proc) finishTrace() { p.closeBurst(true) }
+
+func checkRegion(buf *memory.Buffer, lo, hi int) error {
+	if buf == nil {
+		return fmt.Errorf("tracer: nil buffer")
+	}
+	if lo < 0 || hi > buf.Len() || lo >= hi {
+		return fmt.Errorf("tracer: bad region [%d,%d) of buffer %q (len %d)", lo, hi, buf.Name(), buf.Len())
+	}
+	return nil
+}

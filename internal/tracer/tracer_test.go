@@ -1,0 +1,427 @@
+package tracer
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+)
+
+// funcApp adapts a closure into an App.
+type funcApp struct {
+	name  string
+	ranks int
+	body  func(p *Proc) error
+}
+
+func (a funcApp) Name() string      { return a.name }
+func (a funcApp) Ranks() int        { return a.ranks }
+func (a funcApp) Run(p *Proc) error { return a.body(p) }
+func app(n string, r int, f func(p *Proc) error) App {
+	return funcApp{name: n, ranks: r, body: f}
+}
+
+// produceLinear writes region [0,n) element by element, charging cost
+// instructions per element: a perfectly sequential production pattern.
+func produceLinear(p *Proc, buf *memory.Buffer, n int, cost int64) {
+	for i := 0; i < n; i++ {
+		p.Compute(cost)
+		buf.Store(i, float64(i))
+	}
+}
+
+// consumeLinear reads region [0,n) element by element.
+func consumeLinear(p *Proc, buf *memory.Buffer, n int, cost int64) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		p.Compute(cost)
+		sum += buf.Load(i)
+	}
+	return sum
+}
+
+func TestTraceProducerConsumer(t *testing.T) {
+	const elems = 64
+	ps, err := Trace(app("pc", 2, func(p *Proc) error {
+		buf := p.NewBuffer("data", elems)
+		if p.Rank() == 0 {
+			produceLinear(p, buf, elems, 10)
+			return p.Send(buf, 0, elems, 1, 0)
+		}
+		if err := p.Recv(buf, 0, elems, 0, 0); err != nil {
+			return err
+		}
+		consumeLinear(p, buf, elems, 10)
+		return nil
+	}), Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ps.Original
+	if orig.Name != "pc" || orig.Variant != "original" {
+		t.Errorf("set identity = %q/%q", orig.Name, orig.Variant)
+	}
+	// Rank 0: Burst(640) Send; rank 1: Recv Burst(640).
+	r0 := orig.Traces[0].Records
+	if len(r0) != 2 || r0[0].Kind != trace.KindBurst || r0[0].Instr != 640 || r0[1].Kind != trace.KindSend {
+		t.Fatalf("rank 0 records = %v", r0)
+	}
+	if r0[1].Size != elems*ElemBytes {
+		t.Errorf("send size = %v, want %d", r0[1].Size, elems*ElemBytes)
+	}
+	r1 := orig.Traces[1].Records
+	if len(r1) != 2 || r1[0].Kind != trace.KindRecv || r1[1].Kind != trace.KindBurst || r1[1].Instr != 640 {
+		t.Fatalf("rank 1 records = %v", r1)
+	}
+
+	// Production profile: chunk c of 4 completes at (c+1)*160.
+	prod := ps.Annotations[0][1].Production
+	if prod == nil {
+		t.Fatal("send not annotated with production profile")
+	}
+	wantProd := []int64{160, 320, 480, 640}
+	for i := range wantProd {
+		if prod.Offsets[i] != wantProd[i] {
+			t.Errorf("production offsets = %v, want %v", prod.Offsets, wantProd)
+			break
+		}
+	}
+	if prod.Burst != 640 {
+		t.Errorf("production burst = %d, want 640", prod.Burst)
+	}
+
+	// Consumption profile: chunk c first needed at c*160 + 10 (the read
+	// happens after the first Compute call of the element).
+	cons := ps.Annotations[1][0].Consumption
+	if cons == nil {
+		t.Fatal("recv not annotated with consumption profile")
+	}
+	wantCons := []int64{10, 170, 330, 490}
+	for i := range wantCons {
+		if cons.Offsets[i] != wantCons[i] {
+			t.Errorf("consumption offsets = %v, want %v", cons.Offsets, wantCons)
+			break
+		}
+	}
+}
+
+func TestTraceLateProductionPattern(t *testing.T) {
+	// The kernel sweeps the buffer twice; the second sweep rewrites
+	// everything, so every chunk's production point lands in the second
+	// half of the burst. This is the access shape that kills early-send
+	// potential (paper finding 1).
+	const elems = 32
+	ps, err := Trace(app("late", 2, func(p *Proc) error {
+		buf := p.NewBuffer("data", elems)
+		if p.Rank() == 0 {
+			produceLinear(p, buf, elems, 10)
+			produceLinear(p, buf, elems, 10) // full rewrite
+			return p.Send(buf, 0, elems, 1, 0)
+		}
+		return p.Recv(buf, 0, elems, 0, 0)
+	}), Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := ps.Annotations[0][1].Production
+	if prod == nil {
+		t.Fatal("missing production profile")
+	}
+	for c, off := range prod.Offsets {
+		if off <= prod.Burst/2 {
+			t.Errorf("chunk %d produced at %d, want in the second half of burst %d", c, off, prod.Burst)
+		}
+	}
+}
+
+func TestTraceEarlyConsumptionPattern(t *testing.T) {
+	// The consumer reads the whole buffer immediately (a reduction), so
+	// every chunk is needed near offset 0 — no late-receive potential.
+	const elems = 32
+	ps, err := Trace(app("early", 2, func(p *Proc) error {
+		buf := p.NewBuffer("data", elems)
+		if p.Rank() == 0 {
+			produceLinear(p, buf, elems, 1)
+			return p.Send(buf, 0, elems, 1, 0)
+		}
+		if err := p.Recv(buf, 0, elems, 0, 0); err != nil {
+			return err
+		}
+		consumeLinear(p, buf, elems, 1) // tight first sweep
+		p.Compute(100000)               // long tail of unrelated work
+		return nil
+	}), Options{Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := ps.Annotations[1][0].Consumption
+	if cons == nil {
+		t.Fatal("missing consumption profile")
+	}
+	for c, off := range cons.Offsets {
+		if off > cons.Burst/100 {
+			t.Errorf("chunk %d first needed at %d of %d, want near 0", c, off, cons.Burst)
+		}
+	}
+}
+
+func TestTraceBackToBackSendsBothAnnotated(t *testing.T) {
+	const elems = 16
+	ps, err := Trace(app("fanout", 3, func(p *Proc) error {
+		buf := p.NewBuffer("data", elems)
+		if p.Rank() == 0 {
+			produceLinear(p, buf, elems, 5)
+			if err := p.Send(buf, 0, elems/2, 1, 0); err != nil {
+				return err
+			}
+			return p.Send(buf, elems/2, elems, 2, 0)
+		}
+		if p.Rank() == 1 {
+			return p.Recv(buf, 0, elems/2, 0, 0)
+		}
+		return p.Recv(buf, elems/2, elems, 0, 0)
+	}), Options{Chunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sends sit after the single burst; both must carry production
+	// profiles against it.
+	r0 := ps.Original.Traces[0].Records
+	var sendIdx []int
+	for i, r := range r0 {
+		if r.Kind == trace.KindSend {
+			sendIdx = append(sendIdx, i)
+		}
+	}
+	if len(sendIdx) != 2 {
+		t.Fatalf("rank 0 records = %v", r0)
+	}
+	for _, i := range sendIdx {
+		if ps.Annotations[0][i].Production == nil {
+			t.Errorf("send at record %d lacks production profile", i)
+		}
+	}
+}
+
+func TestTraceSendAfterRecvNotAnnotated(t *testing.T) {
+	// A forwarded message with no computation in between must not claim a
+	// production profile (there is no burst that produced it).
+	const elems = 8
+	ps, err := Trace(app("fwd", 3, func(p *Proc) error {
+		buf := p.NewBuffer("data", elems)
+		switch p.Rank() {
+		case 0:
+			produceLinear(p, buf, elems, 5)
+			return p.Send(buf, 0, elems, 1, 0)
+		case 1:
+			if err := p.Recv(buf, 0, elems, 0, 0); err != nil {
+				return err
+			}
+			return p.Send(buf, 0, elems, 2, 1)
+		default:
+			return p.Recv(buf, 0, elems, 1, 1)
+		}
+	}), Options{Chunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := ps.Original.Traces[1].Records
+	for i, r := range r1 {
+		if r.Kind == trace.KindSend {
+			if ps.Annotations[1][i].Production != nil {
+				t.Error("forwarding send must not carry a production profile")
+			}
+		}
+	}
+}
+
+func TestTraceCollectivesRecorded(t *testing.T) {
+	ps, err := Trace(app("coll", 4, func(p *Proc) error {
+		buf := p.NewBuffer("x", 4)
+		buf.Store(0, float64(p.Rank()))
+		p.Compute(100)
+		if err := p.Allreduce(buf, 0, 4); err != nil {
+			return err
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if buf.Load(0) != 6 { // 0+1+2+3
+			t.Errorf("allreduce result %v, want 6", buf.Load(0))
+		}
+		return p.Bcast(buf, 0, 4, 0)
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		recs := ps.Original.Traces[r].Records
+		var colls []trace.Collective
+		for _, rec := range recs {
+			if rec.Kind == trace.KindCollective {
+				colls = append(colls, rec.Coll)
+			}
+		}
+		if len(colls) != 3 || colls[0] != trace.Allreduce || colls[1] != trace.Barrier || colls[2] != trace.Bcast {
+			t.Fatalf("rank %d collectives = %v", r, colls)
+		}
+	}
+}
+
+func TestTraceReduceRootOnly(t *testing.T) {
+	ps, err := Trace(app("reduce", 3, func(p *Proc) error {
+		buf := p.NewBuffer("x", 1)
+		buf.Store(0, 1)
+		if err := p.Reduce(buf, 0, 1, 2); err != nil {
+			return err
+		}
+		if p.Rank() == 2 && buf.Load(0) != 3 {
+			t.Errorf("reduce at root = %v, want 3", buf.Load(0))
+		}
+		if p.Rank() != 2 && buf.Load(0) != 1 {
+			t.Errorf("reduce clobbered non-root: %v", buf.Load(0))
+		}
+		return nil
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ps
+}
+
+func TestTraceMarkers(t *testing.T) {
+	ps, err := Trace(app("mark", 1, func(p *Proc) error {
+		p.Marker("iter 0")
+		p.Compute(100)
+		p.Marker("iter 1")
+		return nil
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ps.Original.Traces[0].Records
+	if len(recs) != 3 || recs[0].Phase != "iter 0" || recs[2].Phase != "iter 1" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestTraceErrorsSurface(t *testing.T) {
+	_, err := Trace(app("bad", 2, func(p *Proc) error {
+		buf := p.NewBuffer("x", 4)
+		return p.Send(buf, 0, 8, 1, 0) // out-of-range region
+	}), Options{})
+	if err == nil || !strings.Contains(err.Error(), "bad region") {
+		t.Errorf("expected region error, got %v", err)
+	}
+
+	_, err = Trace(app("badtag", 2, func(p *Proc) error {
+		buf := p.NewBuffer("x", 4)
+		if p.Rank() == 0 {
+			return p.Send(buf, 0, 4, 1, -3)
+		}
+		return p.Recv(buf, 0, 4, 0, -3)
+	}), Options{})
+	if err == nil || !strings.Contains(err.Error(), "tag") {
+		t.Errorf("expected tag error, got %v", err)
+	}
+
+	if _, err := Trace(app("noranks", 0, func(p *Proc) error { return nil }), Options{}); err == nil {
+		t.Error("zero ranks: expected error")
+	}
+}
+
+func TestTraceExchangeHalo(t *testing.T) {
+	// Ring halo exchange through Exchange: trace must validate and carry
+	// payloads correctly.
+	const n = 4
+	ps, err := Trace(app("ring", n, func(p *Proc) error {
+		buf := p.NewBuffer("halo", 2)
+		buf.Store(0, float64(p.Rank()))
+		p.Compute(50)
+		next, prev := (p.Rank()+1)%n, (p.Rank()+n-1)%n
+		if err := p.Exchange(buf, 0, 1, next, 7, buf, 1, 2, prev, 7); err != nil {
+			return err
+		}
+		if got := buf.Load(1); got != float64(prev) {
+			t.Errorf("rank %d got halo %v, want %d", p.Rank(), got, prev)
+		}
+		return nil
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(ps.Original); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	run := func() *overlap.ProfiledSet {
+		ps, err := Trace(app("det", 3, func(p *Proc) error {
+			buf := p.NewBuffer("d", 16)
+			produceLinear(p, buf, 16, 3)
+			next, prev := (p.Rank()+1)%3, (p.Rank()+2)%3
+			if err := p.Exchange(buf, 0, 8, next, 0, buf, 8, 16, prev, 0); err != nil {
+				return err
+			}
+			consumeLinear(p, buf, 16, 3)
+			return nil
+		}), Options{Chunks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	a, b := run(), run()
+	for r := 0; r < 3; r++ {
+		ra, rb := a.Original.Traces[r].Records, b.Original.Traces[r].Records
+		if len(ra) != len(rb) {
+			t.Fatalf("rank %d record counts differ", r)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("rank %d record %d differs: %v vs %v", r, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestTracedSetTransformsAndValidates(t *testing.T) {
+	// Full path: trace -> transform (all variants) -> validate.
+	ps, err := Trace(app("full", 2, func(p *Proc) error {
+		buf := p.NewBuffer("d", 64)
+		for iter := 0; iter < 3; iter++ {
+			if p.Rank() == 0 {
+				produceLinear(p, buf, 64, 10)
+				if err := p.Send(buf, 0, 64, 1, iter); err != nil {
+					return err
+				}
+			} else {
+				if err := p.Recv(buf, 0, 64, 0, iter); err != nil {
+					return err
+				}
+				consumeLinear(p, buf, 64, 10)
+			}
+		}
+		return nil
+	}), Options{Chunks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range []overlap.Mechanism{0, overlap.EarlySend, overlap.LateRecv, overlap.BothMechanisms} {
+		for _, pat := range []overlap.Pattern{overlap.PatternReal, overlap.PatternLinear} {
+			out, err := overlap.Transform(ps, overlap.Options{Mechanisms: mech, Pattern: pat})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mech, pat, err)
+			}
+			if err := trace.Validate(out); err != nil {
+				t.Fatalf("%v/%v: %v", mech, pat, err)
+			}
+			if got := trace.Stats(out).Instructions; got != trace.Stats(ps.Original).Instructions {
+				t.Fatalf("%v/%v: instructions not conserved", mech, pat)
+			}
+		}
+	}
+}

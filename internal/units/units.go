@@ -1,0 +1,260 @@
+// Package units defines the scalar quantities the simulator is built on:
+// simulated time instants and durations, byte counts, network bandwidth and
+// processor speed (MIPS).
+//
+// The paper measures computation in "number of instructions executed in
+// computation bursts" and scales it by an average MIPS rate to obtain time
+// (Subotic et al., ISPASS 2010, section II-B). These types make that
+// convention explicit and keep all conversions in one place.
+//
+// Time is kept as an integer number of simulated nanoseconds so that the
+// discrete-event simulation is exactly reproducible; bandwidth and MIPS are
+// floating point because they are configuration inputs, not event clocks.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Time is an instant on the simulated clock, in nanoseconds since the start
+// of the simulation. It is a distinct type from Duration so that instants
+// and spans cannot be confused in the replay engine.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration scales.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant; used as an "infinitely far"
+// sentinel by schedulers.
+const MaxTime Time = math.MaxInt64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the instant with an adaptive unit, e.g. "1.250ms".
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the span expressed in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the span expressed in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < Microsecond && d > -Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond && d > -Millisecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d < Second && d > -Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(d)/float64(Second))
+	}
+}
+
+// DurationFromSeconds converts a floating-point number of seconds to a
+// Duration, rounding to the nearest nanosecond and saturating on overflow.
+func DurationFromSeconds(s float64) Duration {
+	ns := s * float64(Second)
+	if ns >= math.MaxInt64 {
+		return Duration(math.MaxInt64)
+	}
+	if ns <= math.MinInt64 {
+		return Duration(math.MinInt64)
+	}
+	return Duration(math.Round(ns))
+}
+
+// ParseDuration parses strings such as "10us", "2.5ms", "1s", "300ns".
+func ParseDuration(s string) (Duration, error) {
+	str := strings.TrimSpace(s)
+	units := []struct {
+		suffix string
+		scale  float64
+	}{
+		{"ns", float64(Nanosecond)},
+		{"us", float64(Microsecond)},
+		{"ms", float64(Millisecond)},
+		{"s", float64(Second)},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(str, u.suffix) {
+			num := strings.TrimSuffix(str, u.suffix)
+			// "ms" also ends in "s"; make sure we stripped the right suffix by
+			// requiring the remainder to parse as a number.
+			v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+			if err != nil {
+				continue
+			}
+			return DurationFromSeconds(v * u.scale / float64(Second)), nil
+		}
+	}
+	return 0, fmt.Errorf("units: cannot parse duration %q (want e.g. \"10us\", \"1.5ms\")", s)
+}
+
+// Bytes is a size in bytes.
+type Bytes int64
+
+// Common byte scales (powers of two, as is customary for message sizes).
+const (
+	Byte Bytes = 1
+	KB         = 1024 * Byte
+	MB         = 1024 * KB
+	GB         = 1024 * MB
+)
+
+// String renders the size with an adaptive unit, e.g. "64KB".
+func (b Bytes) String() string {
+	switch {
+	case b < 0:
+		return fmt.Sprintf("%dB", int64(b))
+	case b < KB:
+		return fmt.Sprintf("%dB", int64(b))
+	case b < MB:
+		return trimFloat(float64(b)/float64(KB)) + "KB"
+	case b < GB:
+		return trimFloat(float64(b)/float64(MB)) + "MB"
+	default:
+		return trimFloat(float64(b)/float64(GB)) + "GB"
+	}
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ParseBytes parses strings such as "512", "64KB", "1.5MB", "2GB".
+func ParseBytes(s string) (Bytes, error) {
+	str := strings.TrimSpace(strings.ToUpper(s))
+	scale := float64(1)
+	switch {
+	case strings.HasSuffix(str, "GB"):
+		scale, str = float64(GB), strings.TrimSuffix(str, "GB")
+	case strings.HasSuffix(str, "MB"):
+		scale, str = float64(MB), strings.TrimSuffix(str, "MB")
+	case strings.HasSuffix(str, "KB"):
+		scale, str = float64(KB), strings.TrimSuffix(str, "KB")
+	case strings.HasSuffix(str, "B"):
+		str = strings.TrimSuffix(str, "B")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(str), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse byte size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: byte size %q is negative", s)
+	}
+	return Bytes(math.Round(v * scale)), nil
+}
+
+// Bandwidth is a transfer rate in bytes per simulated second.
+type Bandwidth float64
+
+// Common bandwidth scales.
+const (
+	BytePerSec Bandwidth = 1
+	KBPerSec             = 1024 * BytePerSec
+	MBPerSec             = 1024 * KBPerSec
+	GBPerSec             = 1024 * MBPerSec
+)
+
+// Infinite reports whether the bandwidth models an ideal, infinitely fast
+// network (zero transfer time). Zero or negative values mean "infinite", the
+// same convention Dimemas configuration files use.
+func (bw Bandwidth) Infinite() bool { return bw <= 0 }
+
+// TransferTime returns the wire time to move size bytes at rate bw,
+// excluding latency. An infinite bandwidth transfers in zero time.
+func (bw Bandwidth) TransferTime(size Bytes) Duration {
+	if bw.Infinite() || size <= 0 {
+		return 0
+	}
+	return DurationFromSeconds(float64(size) / float64(bw))
+}
+
+// String renders the bandwidth with an adaptive unit, e.g. "1.25GB/s".
+func (bw Bandwidth) String() string {
+	if bw.Infinite() {
+		return "inf"
+	}
+	switch {
+	case bw < KBPerSec:
+		return trimFloat(float64(bw)) + "B/s"
+	case bw < MBPerSec:
+		return trimFloat(float64(bw)/float64(KBPerSec)) + "KB/s"
+	case bw < GBPerSec:
+		return trimFloat(float64(bw)/float64(MBPerSec)) + "MB/s"
+	default:
+		return trimFloat(float64(bw)/float64(GBPerSec)) + "GB/s"
+	}
+}
+
+// ParseBandwidth parses strings such as "100MB/s", "1GB/s", "inf".
+func ParseBandwidth(s string) (Bandwidth, error) {
+	str := strings.TrimSpace(s)
+	if strings.EqualFold(str, "inf") || strings.EqualFold(str, "infinite") {
+		return 0, nil
+	}
+	str = strings.TrimSuffix(str, "/s")
+	b, err := ParseBytes(str)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse bandwidth %q (want e.g. \"100MB/s\", \"inf\")", s)
+	}
+	return Bandwidth(b), nil
+}
+
+// MIPS is a processor speed in millions of instructions per second. The
+// tracer stamps computation bursts with instruction counts; the replayer
+// divides by MIPS to obtain simulated time, mirroring the paper's model.
+type MIPS float64
+
+// BurstDuration converts an instruction count to simulated time at rate m.
+// A non-positive MIPS means an infinitely fast CPU (zero-duration bursts),
+// which is useful to isolate pure network behaviour.
+func (m MIPS) BurstDuration(instructions int64) Duration {
+	if m <= 0 || instructions <= 0 {
+		return 0
+	}
+	return DurationFromSeconds(float64(instructions) / (float64(m) * 1e6))
+}
+
+// Instructions converts a duration back to an instruction count at rate m.
+func (m MIPS) Instructions(d Duration) int64 {
+	if m <= 0 || d <= 0 {
+		return 0
+	}
+	return int64(math.Round(d.Seconds() * float64(m) * 1e6))
+}
+
+// String renders the speed, e.g. "1000 MIPS".
+func (m MIPS) String() string { return trimFloat(float64(m)) + " MIPS" }

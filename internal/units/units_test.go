@@ -1,0 +1,278 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	d := Duration(250)
+	if got := t0.Add(d); got != Time(1250) {
+		t.Errorf("Add: got %d, want 1250", got)
+	}
+	if got := t0.Add(d).Sub(t0); got != d {
+		t.Errorf("Sub: got %d, want %d", got, d)
+	}
+	if !t0.Before(t0.Add(d)) {
+		t.Error("Before: t0 should precede t0+d")
+	}
+	if !t0.Add(d).After(t0) {
+		t.Error("After: t0+d should follow t0")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := Time(Second).Seconds(); got != 1.0 {
+		t.Errorf("Seconds: got %v, want 1.0", got)
+	}
+	if got := Duration(500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("Duration.Seconds: got %v, want 0.5", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{1500 * Microsecond, "1.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDurationFromSeconds(t *testing.T) {
+	if got := DurationFromSeconds(1.5); got != Duration(1500*Millisecond) {
+		t.Errorf("DurationFromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := DurationFromSeconds(0); got != 0 {
+		t.Errorf("DurationFromSeconds(0) = %v, want 0", got)
+	}
+	// Saturation, not overflow.
+	if got := DurationFromSeconds(1e300); got != Duration(math.MaxInt64) {
+		t.Errorf("DurationFromSeconds(1e300) = %v, want MaxInt64", got)
+	}
+	if got := DurationFromSeconds(-1e300); got != Duration(math.MinInt64) {
+		t.Errorf("DurationFromSeconds(-1e300) = %v, want MinInt64", got)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"10us", 10 * Microsecond},
+		{"2.5ms", 2500 * Microsecond},
+		{"1s", Second},
+		{"300ns", 300},
+		{" 5us ", 5 * Microsecond},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "10", "abc", "10xs"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q): expected error", bad)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1KB"},
+		{1536, "1.5KB"},
+		{MB, "1MB"},
+		{3 * GB, "3GB"},
+		{-5, "-5B"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"512", 512},
+		{"512B", 512},
+		{"64KB", 64 * KB},
+		{"64kb", 64 * KB},
+		{"1.5MB", Bytes(1.5 * float64(MB))},
+		{"2GB", 2 * GB},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "xMB", "-3KB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q): expected error", bad)
+		}
+	}
+}
+
+func TestBandwidthTransferTime(t *testing.T) {
+	bw := Bandwidth(MB) // 1 MB per second
+	if got := bw.TransferTime(MB); got != Second {
+		t.Errorf("TransferTime(1MB @ 1MB/s) = %v, want 1s", got)
+	}
+	if got := bw.TransferTime(0); got != 0 {
+		t.Errorf("TransferTime(0) = %v, want 0", got)
+	}
+	if got := Bandwidth(0).TransferTime(GB); got != 0 {
+		t.Errorf("infinite bandwidth TransferTime = %v, want 0", got)
+	}
+	if !Bandwidth(0).Infinite() {
+		t.Error("Bandwidth(0) should be infinite")
+	}
+	if Bandwidth(1).Infinite() {
+		t.Error("Bandwidth(1) should not be infinite")
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		bw   Bandwidth
+		want string
+	}{
+		{0, "inf"},
+		{100, "100B/s"},
+		{KBPerSec, "1KB/s"},
+		{100 * MBPerSec, "100MB/s"},
+		{2 * GBPerSec, "2GB/s"},
+	}
+	for _, c := range cases {
+		if got := c.bw.String(); got != c.want {
+			t.Errorf("Bandwidth(%v).String() = %q, want %q", float64(c.bw), got, c.want)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"inf", 0},
+		{"Infinite", 0},
+		{"100MB/s", 100 * MBPerSec},
+		{"1GB/s", GBPerSec},
+		{"512KB", 512 * KBPerSec}, // "/s" suffix optional
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil {
+			t.Errorf("ParseBandwidth(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+	if _, err := ParseBandwidth("fast"); err == nil {
+		t.Error("ParseBandwidth(\"fast\"): expected error")
+	}
+}
+
+func TestMIPSBurstDuration(t *testing.T) {
+	m := MIPS(1000) // 1e9 instructions per second: 1 instruction = 1ns
+	if got := m.BurstDuration(1); got != Nanosecond {
+		t.Errorf("BurstDuration(1 @ 1000 MIPS) = %v, want 1ns", got)
+	}
+	if got := m.BurstDuration(1e9); got != Second {
+		t.Errorf("BurstDuration(1e9 @ 1000 MIPS) = %v, want 1s", got)
+	}
+	if got := MIPS(0).BurstDuration(1e9); got != 0 {
+		t.Errorf("infinitely fast CPU burst = %v, want 0", got)
+	}
+	if got := m.BurstDuration(-5); got != 0 {
+		t.Errorf("negative instruction count = %v, want 0", got)
+	}
+}
+
+func TestMIPSInstructionsRoundTrip(t *testing.T) {
+	m := MIPS(500)
+	for _, n := range []int64{0, 1, 1000, 123456789} {
+		d := m.BurstDuration(n)
+		back := m.Instructions(d)
+		// Round trip within 1 instruction (nanosecond rounding).
+		if diff := back - n; diff < -1 || diff > 1 {
+			t.Errorf("round trip %d instructions -> %v -> %d", n, d, back)
+		}
+	}
+}
+
+func TestPropertyTransferTimeMonotone(t *testing.T) {
+	// Larger messages never transfer faster at a fixed finite bandwidth.
+	f := func(a, b uint32) bool {
+		bw := Bandwidth(10 * MBPerSec)
+		sa, sb := Bytes(a%(1<<28)), Bytes(b%(1<<28))
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return bw.TransferTime(sa) <= bw.TransferTime(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBurstDurationAdditive(t *testing.T) {
+	// Duration of a+b instructions equals duration of a plus duration of b
+	// within rounding error (2 ns).
+	f := func(a, b uint32) bool {
+		m := MIPS(750)
+		da := m.BurstDuration(int64(a))
+		db := m.BurstDuration(int64(b))
+		dab := m.BurstDuration(int64(a) + int64(b))
+		diff := int64(dab - da - db)
+		return diff >= -2 && diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParseBytesRoundTrip(t *testing.T) {
+	// String() output of whole-KB values below 1MB parses back exactly.
+	f := func(n uint16) bool {
+		b := Bytes(n%1024) * KB
+		parsed, err := ParseBytes(b.String())
+		return err == nil && parsed == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

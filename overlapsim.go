@@ -1,0 +1,154 @@
+// Package overlapsim is a simulation environment for studying overlap of
+// communication and computation in message-passing applications — a Go
+// reproduction of Subotic, Labarta and Valero (ISPASS 2010).
+//
+// The environment measures how much an MPI application can profit from
+// *automatic overlap*: partitioning every message into chunks, sending each
+// chunk as soon as it is produced, and waiting for each chunk only when it
+// is first needed. It consists of three stages, mirroring the paper:
+//
+//  1. a tracing tool that runs the application once on an instrumented
+//     in-process MPI runtime and extracts the original (non-overlapped)
+//     trace together with measured production/consumption patterns;
+//  2. a Dimemas-like discrete-event replayer that reconstructs the
+//     execution on a configurable platform (CPU speed, latency, bandwidth,
+//     buses, links, eager/rendezvous protocol); and
+//  3. a Paraver-like visualization of the simulated time behaviours.
+//
+// Quick start:
+//
+//	env := overlapsim.NewEnvironment()
+//	app, _ := overlapsim.NewApp("sweep3d", overlapsim.AppConfig{})
+//	study, _ := env.Trace(app)
+//	cmp, _ := study.Compare(env.Machine, overlapsim.IdealOverlap())
+//	fmt.Printf("automatic overlap speedup: %.2fx\n", cmp.Speedup())
+//	cmp.RenderGantt(os.Stdout, 100)
+//
+// The internal packages carry the substrates (trace format, network model,
+// MPI runtime, memory tracking, transformation, experiment harness); this
+// package re-exports the surface a downstream user needs.
+package overlapsim
+
+import (
+	"io"
+
+	"overlapsim/internal/apps"
+	"overlapsim/internal/core"
+	"overlapsim/internal/experiment"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// Re-exported core types. See the respective internal packages for full
+// documentation of every method.
+type (
+	// Environment wires tracing, replay and visualization (paper Fig. 1).
+	Environment = core.Environment
+	// Study is a traced application with cached overlapped variants.
+	Study = core.Study
+	// Comparison pairs a non-overlapped and an overlapped replay.
+	Comparison = core.Comparison
+	// Machine describes the simulated platform.
+	Machine = machine.Config
+	// AppConfig sizes a bundled application proxy.
+	AppConfig = apps.Config
+	// App is anything the tracing tool can run.
+	App = tracer.App
+	// Proc is the instrumented per-rank interface applications program to.
+	Proc = tracer.Proc
+	// TransformOptions selects mechanisms, pattern and granularity of the
+	// overlap transformation.
+	TransformOptions = overlap.Options
+	// TraceSet is a complete multi-rank trace.
+	TraceSet = trace.Set
+	// Suite runs the paper's experiments.
+	Suite = experiment.Suite
+)
+
+// Re-exported unit types.
+type (
+	// Duration is a span of simulated time in nanoseconds.
+	Duration = units.Duration
+	// Bandwidth is a transfer rate in bytes per simulated second.
+	Bandwidth = units.Bandwidth
+	// Bytes is a size in bytes.
+	Bytes = units.Bytes
+)
+
+// Pattern and mechanism constants for TransformOptions.
+const (
+	PatternReal    = overlap.PatternReal
+	PatternLinear  = overlap.PatternLinear
+	EarlySend      = overlap.EarlySend
+	LateRecv       = overlap.LateRecv
+	BothMechanisms = overlap.BothMechanisms
+)
+
+// NewEnvironment returns an environment on the default platform.
+func NewEnvironment() *Environment { return core.NewEnvironment() }
+
+// DefaultMachine returns the baseline platform used by the experiments.
+func DefaultMachine() Machine { return machine.Default() }
+
+// IdealMachine returns a contention-free, zero-latency platform.
+func IdealMachine() Machine { return machine.Ideal() }
+
+// MachinePreset returns a named platform preset (fast-ethernet, gige,
+// myrinet-2000, infiniband-ddr, infiniband-hdr, smp4, default, ideal).
+func MachinePreset(name string) (Machine, error) { return machine.Preset(name) }
+
+// MachinePresets lists the available platform preset names.
+func MachinePresets() []string { return machine.PresetNames() }
+
+// NewApp instantiates a bundled application proxy by name; zero config
+// fields inherit the app's defaults. Names() lists what is available.
+func NewApp(name string, cfg AppConfig) (App, error) { return apps.New(name, cfg) }
+
+// Apps returns the registered application names.
+func Apps() []string { return apps.Names() }
+
+// PaperApps returns the six applications of the paper's evaluation.
+func PaperApps() []string { return apps.PaperApps() }
+
+// IdealOverlap returns the transformation options for full automatic
+// overlap with the ideal sequential (linear) pattern.
+func IdealOverlap() TransformOptions {
+	return TransformOptions{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear}
+}
+
+// MeasuredOverlap returns the transformation options for full automatic
+// overlap with the measured (real) patterns.
+func MeasuredOverlap() TransformOptions {
+	return TransformOptions{Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternReal}
+}
+
+// NewSuite returns the experiment suite on the default platform.
+func NewSuite() *Suite { return experiment.NewSuite() }
+
+// RunExperiment runs one of the paper's experiments (f1, e1, e2, e2f, e3,
+// a1, a2, a3, b1) and writes its tables to w.
+func RunExperiment(id string, s *Suite, w io.Writer) error {
+	d, err := experiment.Find(id)
+	if err != nil {
+		return err
+	}
+	return d.Run(s, w)
+}
+
+// Experiments lists the available experiment ids with their titles.
+func Experiments() map[string]string {
+	out := map[string]string{}
+	for _, d := range experiment.All {
+		out[d.ID] = d.Title
+	}
+	return out
+}
+
+// WriteTrace encodes a trace set in the text format.
+func WriteTrace(w io.Writer, ts *TraceSet) error { return trace.Write(w, ts) }
+
+// ReadTrace decodes a trace set from the text format.
+func ReadTrace(r io.Reader) (*TraceSet, error) { return trace.Read(r) }

@@ -1,0 +1,120 @@
+package overlapsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overlapsim"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	env := overlapsim.NewEnvironment()
+	app, err := overlapsim.NewApp("pingpong", overlapsim.AppConfig{Ranks: 2, Size: 512, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := env.Trace(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := study.Compare(env.Machine, overlapsim.IdealOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup() < 0.5 || cmp.Speedup() > 10 {
+		t.Errorf("implausible speedup %v", cmp.Speedup())
+	}
+	var buf bytes.Buffer
+	if err := cmp.RenderGantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "original") {
+		t.Errorf("gantt output missing variants:\n%s", buf.String())
+	}
+}
+
+func TestFacadeAppsListing(t *testing.T) {
+	names := overlapsim.Apps()
+	if len(names) < 9 {
+		t.Errorf("Apps() = %v", names)
+	}
+	for _, p := range overlapsim.PaperApps() {
+		found := false
+		for _, n := range names {
+			if n == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper app %q missing from Apps()", p)
+		}
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	env := overlapsim.NewEnvironment()
+	app, err := overlapsim.NewApp("ring", overlapsim.AppConfig{Ranks: 4, Size: 128, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := env.Trace(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := overlapsim.WriteTrace(&buf, study.Original()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := overlapsim.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "ring" || back.NRanks() != 4 {
+		t.Errorf("round trip lost identity: %q/%d", back.Name, back.NRanks())
+	}
+	// A study built from a bare trace still supports the linear transform.
+	study2, err := env.FromTrace(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := study2.Compare(env.Machine, overlapsim.IdealOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup() <= 0 {
+		t.Errorf("speedup = %v", cmp.Speedup())
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := overlapsim.Experiments()
+	for _, id := range []string{"f1", "e1", "e2", "e2f", "e3", "a1", "a2", "a3", "b1"} {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	s := overlapsim.NewSuite()
+	s.Quick = true
+	var buf bytes.Buffer
+	if err := overlapsim.RunExperiment("e2", s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Errorf("experiment output:\n%s", buf.String())
+	}
+	if err := overlapsim.RunExperiment("nope", s, &buf); err == nil {
+		t.Error("unknown experiment: expected error")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	d := overlapsim.DefaultMachine()
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	i := overlapsim.IdealMachine()
+	if i.Latency != 0 || !i.Bandwidth.Infinite() {
+		t.Errorf("IdealMachine not ideal: %+v", i)
+	}
+}
