@@ -1,0 +1,31 @@
+# Single source of the build commands: CI runs these same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark pass (minutes): the DES engine, the sweep engine, and the
+# paper-evaluation regeneration benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: proves they still compile and run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

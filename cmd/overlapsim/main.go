@@ -5,15 +5,21 @@
 // Usage:
 //
 //	overlapsim list
-//	overlapsim run <experiment-id>|all [-quick] [platform flags]
+//	overlapsim run <experiment-id>|all [-quick] [-workers N] [platform flags]
 //	overlapsim study -app <name> [-ranks N -size N -iters N -chunks N]
 //	                 [-pattern real|linear] [-width N] [platform flags]
+//	overlapsim sweep -apps <a,b,...> [-ranks N,...] [-bws BW,...] [-chunks N,...]
+//	                 [-mechs M,...] [-patterns P,...] [-size N] [-iters N]
+//	                 [-workers N] [-format table|csv|json] [-o file] [platform flags]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"overlapsim"
 	"overlapsim/internal/apps"
@@ -21,6 +27,8 @@ import (
 	"overlapsim/internal/experiment"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/stats"
+	"overlapsim/internal/sweep"
+	"overlapsim/internal/units"
 )
 
 func main() {
@@ -36,6 +44,8 @@ func main() {
 		err = runExperiments(os.Args[2:])
 	case "study":
 		err = runStudy(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -53,7 +63,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   overlapsim list                                 list applications and experiments
   overlapsim run <id>|all [-quick] [flags]        regenerate the paper's evaluation
-  overlapsim study -app <name> [flags]            one-off overlap study with visualization`)
+  overlapsim study -app <name> [flags]            one-off overlap study with visualization
+  overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)`)
 }
 
 func runList() error {
@@ -82,6 +93,7 @@ func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use small workloads for a fast pass")
 	chunks := fs.Int("chunks", 8, "partial-message granularity")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = one per CPU); results are identical for any value")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +109,7 @@ func runExperiments(args []string) error {
 	suite.Machine = cfg
 	suite.Quick = *quick
 	suite.Chunks = *chunks
+	suite.Workers = *workers
 
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
@@ -171,4 +184,157 @@ func runStudy(args []string) error {
 	}
 	fmt.Println()
 	return cmp.WriteSummaries(os.Stdout)
+}
+
+// runSweep expands a declarative grid from the command line and fans the
+// simulations out over the sweep engine's worker pool. Output is in stable
+// point order: byte-identical for any -workers value.
+func runSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	appsFlag := fs.String("apps", "", "comma-separated applications to sweep (required; see overlapsim list)")
+	ranksFlag := fs.String("ranks", "", "comma-separated rank counts (0 or empty = app default)")
+	bwsFlag := fs.String("bws", "", "comma-separated bandwidth axis (e.g. 64MB/s,256MB/s,1GB/s); empty = base platform bandwidth")
+	chunksFlag := fs.String("chunks", "", "comma-separated chunk granularities (empty = 8)")
+	mechsFlag := fs.String("mechs", "", "comma-separated mechanism sets: none, earlysend, laterecv, both, prepost combos with + (empty = both)")
+	patternsFlag := fs.String("patterns", "", "comma-separated patterns: real, linear (empty = linear)")
+	size := fs.Int("size", 0, "problem size for every app (0 = app default)")
+	iters := fs.Int("iters", 0, "iterations for every app (0 = app default)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = one per CPU); results are identical for any value")
+	format := fs.String("format", "table", "output format: table, csv or json")
+	out := fs.String("o", "", "write results to this file instead of stdout")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("sweep takes no positional arguments (got %q)", fs.Args())
+	}
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	f, err := sweep.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+
+	grid := sweep.Grid{Apps: splitList(*appsFlag)}
+	if grid.Ranks, err = parseIntList(*ranksFlag, "ranks"); err != nil {
+		return err
+	}
+	if grid.Bandwidths, err = parseBandwidthList(*bwsFlag); err != nil {
+		return err
+	}
+	if grid.Chunks, err = parseIntList(*chunksFlag, "chunks"); err != nil {
+		return err
+	}
+	if grid.Mechanisms, err = parseMechanismList(*mechsFlag); err != nil {
+		return err
+	}
+	if grid.Patterns, err = parsePatternList(*patternsFlag); err != nil {
+		return err
+	}
+	if err := grid.Validate(); err != nil {
+		return err
+	}
+
+	runner := sweep.NewRunner(cfg)
+	runner.Size = *size
+	runner.Iters = *iters
+	runner.Engine = sweep.Engine{Workers: *workers}
+	fmt.Fprintf(os.Stderr, "sweep: %d points on %d workers\n", grid.Size(), runner.Engine.WorkerCount())
+	results, err := runner.Run(grid)
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return sweep.Write(stdout, f, results)
+	}
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := sweep.Write(file, f, results); err != nil {
+		file.Close()
+		return err
+	}
+	// A failed close can mean a failed flush: report it, never exit 0
+	// with a truncated results file.
+	return file.Close()
+}
+
+// splitList splits a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var items []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			items = append(items, item)
+		}
+	}
+	return items
+}
+
+func parseIntList(s, name string) ([]int, error) {
+	var out []int
+	for _, item := range splitList(s) {
+		n, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s element %q: %w", name, item, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseBandwidthList(s string) ([]units.Bandwidth, error) {
+	var out []units.Bandwidth
+	for _, item := range splitList(s) {
+		bw, err := units.ParseBandwidth(item)
+		if err != nil {
+			return nil, fmt.Errorf("bad -bws element: %w", err)
+		}
+		out = append(out, bw)
+	}
+	return out, nil
+}
+
+func parseMechanismList(s string) ([]overlap.Mechanism, error) {
+	var out []overlap.Mechanism
+	for _, item := range splitList(s) {
+		var m overlap.Mechanism
+		for _, part := range strings.Split(item, "+") {
+			switch strings.TrimSpace(part) {
+			case "none", "":
+				// no bits
+			case "earlysend":
+				m |= overlap.EarlySend
+			case "laterecv":
+				m |= overlap.LateRecv
+			case "both":
+				m |= overlap.BothMechanisms
+			case "prepost":
+				m |= overlap.PrepostRecv
+			default:
+				return nil, fmt.Errorf("bad -mechs element %q (want none, earlysend, laterecv, both, prepost, or + combos)", item)
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parsePatternList(s string) ([]overlap.Pattern, error) {
+	var out []overlap.Pattern
+	for _, item := range splitList(s) {
+		switch item {
+		case "real":
+			out = append(out, overlap.PatternReal)
+		case "linear":
+			out = append(out, overlap.PatternLinear)
+		default:
+			return nil, fmt.Errorf("bad -patterns element %q (want real or linear)", item)
+		}
+	}
+	return out, nil
 }

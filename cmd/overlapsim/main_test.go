@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"overlapsim/internal/overlap"
 )
 
 func TestRunList(t *testing.T) {
@@ -45,5 +50,98 @@ func TestRunStudyErrors(t *testing.T) {
 	}
 	if err := runStudy([]string{"-app", "pingpong", "-pattern", "diagonal"}); err == nil {
 		t.Error("unknown pattern: expected error")
+	}
+}
+
+func TestRunSweepWorkerCountByteIdentical(t *testing.T) {
+	args := []string{
+		"-apps", "pingpong", "-bws", "64MB/s,256MB/s,1GB/s", "-chunks", "4,8",
+		"-mechs", "earlysend,both", "-size", "512", "-iters", "2",
+	}
+	for _, format := range []string{"table", "csv", "json"} {
+		var serial, parallel bytes.Buffer
+		if err := runSweep(append([]string{"-workers", "1", "-format", format}, args...), &serial); err != nil {
+			t.Fatal(err)
+		}
+		if err := runSweep(append([]string{"-workers", "8", "-format", format}, args...), &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Errorf("%s: -workers=8 output differs from -workers=1:\n%s\n---\n%s",
+				format, serial.String(), parallel.String())
+		}
+		if serial.Len() == 0 {
+			t.Errorf("%s: empty output", format)
+		}
+	}
+}
+
+func TestRunSweepOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.csv")
+	var stdout bytes.Buffer
+	err := runSweep([]string{
+		"-apps", "pingpong", "-size", "256", "-iters", "1",
+		"-format", "csv", "-o", path,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("results leaked to stdout with -o: %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "app,ranks,bandwidth_bytes_per_sec") {
+		t.Errorf("unexpected CSV header: %q", string(data[:min(len(data), 80)]))
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Errorf("want header + one point, got %d lines", lines)
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := runSweep([]string{}, &sink); err == nil {
+		t.Error("no apps: expected error")
+	}
+	if err := runSweep([]string{"-apps", "no-such-app"}, &sink); err == nil {
+		t.Error("unknown app: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-format", "yaml"}, &sink); err == nil {
+		t.Error("bad format: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-bws", "fast"}, &sink); err == nil {
+		t.Error("bad bandwidth: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-mechs", "psychic"}, &sink); err == nil {
+		t.Error("bad mechanism: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-patterns", "diagonal"}, &sink); err == nil {
+		t.Error("bad pattern: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-ranks", "two"}, &sink); err == nil {
+		t.Error("bad ranks: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "stray"}, &sink); err == nil {
+		t.Error("positional arg: expected error")
+	}
+}
+
+func TestParseMechanismCombos(t *testing.T) {
+	ms, err := parseMechanismList("none,earlysend,laterecv,both,both+prepost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []overlap.Mechanism{0, overlap.EarlySend, overlap.LateRecv,
+		overlap.BothMechanisms, overlap.BothMechanisms | overlap.PrepostRecv}
+	if len(ms) != len(want) {
+		t.Fatalf("got %v, want %v", ms, want)
+	}
+	for i := range ms {
+		if ms[i] != want[i] {
+			t.Fatalf("element %d: got %v, want %v", i, ms[i], want[i])
+		}
 	}
 }

@@ -1,0 +1,54 @@
+package des
+
+import (
+	"testing"
+
+	"overlapsim/internal/units"
+)
+
+// BenchmarkEngine measures the engine's core schedule/dispatch loop with a
+// replay-like load: a standing population of events where each executed
+// event reschedules itself, so pushes and pops interleave at a realistic
+// queue depth.
+func BenchmarkEngine(b *testing.B) {
+	const population = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		steps := int64(0)
+		const total = population * 64
+		var tick func()
+		tick = func() {
+			steps++
+			if steps < total {
+				e.ScheduleAfter(units.Duration(1+steps%7)*units.Microsecond, tick)
+			}
+		}
+		for j := 0; j < population; j++ {
+			e.ScheduleAfter(units.Duration(j)*units.Microsecond, tick)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSchedule isolates the queue itself: push a batch of events
+// in scattered time order, then drain it.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const batch = 4096
+	nop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < batch; j++ {
+			// Deterministic scatter: (j*2654435761) mod batch spreads
+			// timestamps without rand.
+			at := units.Time(uint32(j) * 2654435761 % batch)
+			e.Schedule(at, nop)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

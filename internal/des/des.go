@@ -9,7 +9,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"overlapsim/internal/units"
@@ -18,43 +17,89 @@ import (
 // Event is a callback scheduled to run at a simulated instant.
 type Event func()
 
+// scheduled is one pending event. Entries are stored by value inside the
+// engine's heap slice: no per-event node allocation, no heap-index
+// bookkeeping, and pushes amortize to plain appends.
 type scheduled struct {
-	at    units.Time
-	seq   int64 // insertion order; breaks ties deterministically
-	fn    Event
-	index int // heap index, maintained by the heap interface
+	at  units.Time
+	seq int64 // insertion order; breaks ties deterministically
+	fn  Event
 }
 
-type eventQueue []*scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the queue ordering: time first, insertion sequence second.
+func (s scheduled) before(o scheduled) bool {
+	if s.at != o.at {
+		return s.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return s.seq < o.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// eventQueue is a 4-ary min-heap of scheduled entries. A wider node halves
+// the tree depth versus a binary heap, trading a few extra comparisons per
+// level for fewer cache-missing levels — a net win at replay queue depths.
+type eventQueue []scheduled
+
+func (q eventQueue) siftUp(i int) {
+	s := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = s
 }
 
-func (q *eventQueue) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*q)
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	s := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(q[min]) {
+				min = c
+			}
+		}
+		if !q[min].before(s) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = s
+}
+
+// push inserts an entry, growing the slice in amortized constant time.
+func (q *eventQueue) push(s scheduled) {
 	*q = append(*q, s)
+	q.siftUp(len(*q) - 1)
 }
 
-func (q *eventQueue) Pop() any {
+// pop removes and returns the earliest entry. The vacated tail slot is
+// zeroed so the engine does not retain the event closure.
+func (q *eventQueue) pop() scheduled {
 	old := *q
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return s
+	n := len(old) - 1
+	top := old[0]
+	if n > 0 {
+		old[0] = old[n]
+	}
+	old[n] = scheduled{}
+	*q = old[:n]
+	if n > 1 {
+		(*q).siftDown(0)
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
@@ -94,7 +139,7 @@ func (e *Engine) Schedule(at units.Time, fn Event) {
 		panic("des: scheduling nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn})
+	e.queue.push(scheduled{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleAfter runs fn after delay d from the current time. Negative
@@ -118,7 +163,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 func (e *Engine) Run() error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		s := heap.Pop(&e.queue).(*scheduled)
+		s := e.queue.pop()
 		e.now = s.at
 		e.steps++
 		if e.maxStep > 0 && e.steps > e.maxStep {

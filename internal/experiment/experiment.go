@@ -20,25 +20,40 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"overlapsim/internal/apps"
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/replay"
+	"overlapsim/internal/sweep"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/tracer"
 	"overlapsim/internal/units"
 )
 
 // Pipeline is one application traced once, with cached transformations and
-// replays so bandwidth sweeps do not repeat work.
+// replays so bandwidth sweeps do not repeat work. The caches are safe for
+// concurrent use: sweep workers replaying different grid points share one
+// pipeline.
 type Pipeline struct {
 	AppName  string
 	Cfg      apps.Config
 	Chunks   int
 	Profiled *overlap.ProfiledSet
 
-	variants map[string]*trace.Set
+	variants sweep.VariantCache
+
+	bwMu    sync.Mutex
+	interBW map[machine.Config]*bwSlot
+}
+
+// bwSlot makes concurrent IntermediateBandwidth calls for one platform run
+// the bandwidth-grid search exactly once; latecomers wait for the result.
+type bwSlot struct {
+	once sync.Once
+	bw   units.Bandwidth
+	err  error
 }
 
 // NewPipeline traces the application once (the single real run of the
@@ -57,7 +72,6 @@ func NewPipeline(appName string, cfg apps.Config, chunks int) (*Pipeline, error)
 		Cfg:      cfg,
 		Chunks:   chunks,
 		Profiled: ps,
-		variants: map[string]*trace.Set{},
 	}, nil
 }
 
@@ -65,18 +79,9 @@ func NewPipeline(appName string, cfg apps.Config, chunks int) (*Pipeline, error)
 func (pl *Pipeline) OriginalSet() *trace.Set { return pl.Profiled.Original }
 
 // VariantSet returns (building and caching on first use) the overlapped
-// trace for the given options.
+// trace for the given options. Safe for concurrent sweep workers.
 func (pl *Pipeline) VariantSet(opts overlap.Options) (*trace.Set, error) {
-	key := opts.Variant(pl.Chunks)
-	if ts, ok := pl.variants[key]; ok {
-		return ts, nil
-	}
-	ts, err := overlap.Transform(pl.Profiled, opts)
-	if err != nil {
-		return nil, err
-	}
-	pl.variants[key] = ts
-	return ts, nil
+	return pl.variants.Get(pl.Profiled, opts)
 }
 
 // Original replays the non-overlapped trace on the platform.
@@ -122,21 +127,39 @@ func bandwidthGrid() []units.Bandwidth {
 // IntermediateBandwidth locates the paper's "intermediate" regime: the
 // bandwidth at which the original execution spends a time in communication
 // comparable to computation (mean blocked fraction closest to 0.5). The
-// search is a deterministic sweep over the logarithmic grid.
+// search is a deterministic sweep over the logarithmic grid, memoized per
+// base platform: every experiment anchors on the same regime, so the grid
+// of original replays is paid once per (pipeline, platform) even when many
+// sweep workers ask concurrently.
 func (pl *Pipeline) IntermediateBandwidth(base machine.Config) (units.Bandwidth, error) {
-	best := units.Bandwidth(0)
-	bestDist := math.Inf(1)
-	for _, bw := range bandwidthGrid() {
-		res, err := pl.Original(base.WithBandwidth(bw))
-		if err != nil {
-			return 0, err
-		}
-		d := math.Abs(res.MeanBlockedFraction() - 0.5)
-		if d < bestDist {
-			bestDist, best = d, bw
-		}
+	pl.bwMu.Lock()
+	if pl.interBW == nil {
+		pl.interBW = map[machine.Config]*bwSlot{}
 	}
-	return best, nil
+	slot, ok := pl.interBW[base]
+	if !ok {
+		slot = &bwSlot{}
+		pl.interBW[base] = slot
+	}
+	pl.bwMu.Unlock()
+
+	slot.once.Do(func() {
+		best := units.Bandwidth(0)
+		bestDist := math.Inf(1)
+		for _, bw := range bandwidthGrid() {
+			res, err := pl.Original(base.WithBandwidth(bw))
+			if err != nil {
+				slot.err = err
+				return
+			}
+			d := math.Abs(res.MeanBlockedFraction() - 0.5)
+			if d < bestDist {
+				bestDist, best = d, bw
+			}
+		}
+		slot.bw = best
+	})
+	return slot.bw, slot.err
 }
 
 // IsoBandwidth finds the minimum bandwidth at which the overlapped
@@ -195,14 +218,28 @@ type Suite struct {
 	Chunks int
 	// Quick shrinks the workloads for fast runs (tests, smoke benches).
 	Quick bool
+	// Workers bounds the sweep worker pool the experiments fan out on;
+	// 0 means one worker per CPU. Results are identical for any value.
+	Workers int
 
-	pipelines map[string]*Pipeline
+	mu        sync.Mutex
+	pipelines map[string]*pipeSlot
+}
+
+// pipeSlot makes concurrent PipelineFor calls trace each app exactly once.
+type pipeSlot struct {
+	once sync.Once
+	pl   *Pipeline
+	err  error
 }
 
 // NewSuite returns a suite on the default platform.
 func NewSuite() *Suite {
 	return &Suite{Machine: machine.Default(), Chunks: 8}
 }
+
+// engine returns the sweep worker pool the suite's experiments fan out on.
+func (s *Suite) engine() sweep.Engine { return sweep.Engine{Workers: s.Workers} }
 
 // AppConfig returns the workload configuration the suite uses for an app.
 func (s *Suite) AppConfig(name string) apps.Config {
@@ -228,24 +265,29 @@ func (s *Suite) AppConfig(name string) apps.Config {
 	return cfg
 }
 
-// PipelineFor traces the app once per suite and caches the result.
+// PipelineFor traces the app once per suite and caches the result. It is
+// safe for concurrent use; parallel callers for the same app share one
+// instrumented run.
 func (s *Suite) PipelineFor(name string) (*Pipeline, error) {
+	s.mu.Lock()
 	if s.pipelines == nil {
-		s.pipelines = map[string]*Pipeline{}
+		s.pipelines = map[string]*pipeSlot{}
 	}
-	if pl, ok := s.pipelines[name]; ok {
-		return pl, nil
+	slot, ok := s.pipelines[name]
+	if !ok {
+		slot = &pipeSlot{}
+		s.pipelines[name] = slot
 	}
-	chunks := s.Chunks
-	if chunks == 0 {
-		chunks = 8
-	}
-	pl, err := NewPipeline(name, s.AppConfig(name), chunks)
-	if err != nil {
-		return nil, err
-	}
-	s.pipelines[name] = pl
-	return pl, nil
+	s.mu.Unlock()
+
+	slot.once.Do(func() {
+		chunks := s.Chunks
+		if chunks == 0 {
+			chunks = 8
+		}
+		slot.pl, slot.err = NewPipeline(name, s.AppConfig(name), chunks)
+	})
+	return slot.pl, slot.err
 }
 
 // bothLinear and bothReal are the two headline variants.

@@ -7,9 +7,11 @@ import (
 
 	"overlapsim/internal/analytic"
 	"overlapsim/internal/apps"
+	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/paraver"
 	"overlapsim/internal/stats"
+	"overlapsim/internal/sweep"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/units"
 )
@@ -116,32 +118,41 @@ func RunE1(s *Suite, w io.Writer) error {
 
 // RunE2 reproduces finding 2: the per-application speedup table at
 // intermediate bandwidth with ideal patterns, next to the paper's reported
-// values.
+// values. The per-app grid fans out on the suite's sweep engine; rows come
+// back in app order regardless of the worker count.
 func RunE2(s *Suite, w io.Writer) error {
 	fmt.Fprintln(w, "E2: speedup at intermediate bandwidth with ideal (sequential) patterns")
-	tb := stats.NewTable("app", "bandwidth", "T-original", "T-overlap", "speedup", "paper")
-	for _, name := range paperAppsOf(s) {
+	names := paperAppsOf(s)
+	rows, err := sweep.Map(s.engine(), len(names), func(i int) ([]string, error) {
+		name := names[i]
 		pl, err := s.PipelineFor(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bw, err := pl.IntermediateBandwidth(s.Machine)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		m := s.Machine.WithBandwidth(bw)
 		orig, err := pl.Original(m)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		over, err := pl.Overlapped(m, bothLinear)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sp := float64(orig.Total) / float64(over.Total)
-		tb.AddRow(name, fmtBW(bw),
+		return []string{name, fmtBW(bw),
 			units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
-			fmtPct(stats.PercentGain(sp)), fmtPct(PaperE2[name]))
+			fmtPct(stats.PercentGain(sp)), fmtPct(PaperE2[name])}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("app", "bandwidth", "T-original", "T-overlap", "speedup", "paper")
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb.Render(w)
 }
@@ -152,26 +163,32 @@ func RunE2(s *Suite, w io.Writer) error {
 func RunE2f(s *Suite, w io.Writer) error {
 	fmt.Fprintln(w, "E2f: ideal-pattern overlap speedup vs bandwidth")
 	grid := bandwidthGrid()
+	names := paperAppsOf(s)
+	// The full app × bandwidth cross product, expressed as a sweep grid
+	// and simulated point-by-point on the worker pool.
+	pts := sweep.Grid{Apps: names, Bandwidths: grid}.Expand()
+	cells, err := sweep.Map(s.engine(), len(pts), func(i int) (string, error) {
+		p := pts[i]
+		pl, err := s.PipelineFor(p.App)
+		if err != nil {
+			return "", err
+		}
+		sp, err := pl.Speedup(s.Machine.WithBandwidth(p.Bandwidth), bothLinear)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%.2f", sp), nil
+	})
+	if err != nil {
+		return err
+	}
 	header := []string{"app"}
 	for _, bw := range grid {
 		header = append(header, fmtBW(bw))
 	}
 	tb := stats.NewTable(header...)
-	for _, name := range paperAppsOf(s) {
-		pl, err := s.PipelineFor(name)
-		if err != nil {
-			return err
-		}
-		row := []string{name}
-		series := stats.Series{Name: name}
-		for _, bw := range grid {
-			sp, err := pl.Speedup(s.Machine.WithBandwidth(bw), bothLinear)
-			if err != nil {
-				return err
-			}
-			series.Add(float64(bw), sp)
-			row = append(row, fmt.Sprintf("%.2f", sp))
-		}
+	for ai, name := range names {
+		row := append([]string{name}, cells[ai*len(grid):(ai+1)*len(grid)]...)
 		tb.AddRow(row...)
 	}
 	return tb.Render(w)
@@ -183,26 +200,33 @@ func RunE2f(s *Suite, w io.Writer) error {
 func RunE3(s *Suite, w io.Writer) error {
 	ref := 32 * units.GBPerSec
 	fmt.Fprintf(w, "E3: bandwidth needed by the overlapped execution to match the original at %s\n", ref)
-	tb := stats.NewTable("app", "T-target", "iso-bandwidth", "reduction")
-	for _, name := range paperAppsOf(s) {
+	names := paperAppsOf(s)
+	rows, err := sweep.Map(s.engine(), len(names), func(i int) ([]string, error) {
+		name := names[i]
 		pl, err := s.PipelineFor(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		origRef, err := pl.Original(s.Machine.WithBandwidth(ref))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		iso, ok, err := pl.IsoBandwidth(s.Machine, ref, bothLinear, 0.02)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
-			tb.AddRow(name, units.Duration(origRef.Total).String(), "unreachable", "-")
-			continue
+			return []string{name, units.Duration(origRef.Total).String(), "unreachable", "-"}, nil
 		}
-		tb.AddRow(name, units.Duration(origRef.Total).String(), fmtBW(iso),
-			fmt.Sprintf("%.0fx", float64(ref)/float64(iso)))
+		return []string{name, units.Duration(origRef.Total).String(), fmtBW(iso),
+			fmt.Sprintf("%.0fx", float64(ref)/float64(iso))}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("app", "T-target", "iso-bandwidth", "reduction")
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb.Render(w)
 }
@@ -211,26 +235,32 @@ func RunE3(s *Suite, w io.Writer) error {
 // paper's tracing tool explicitly provides (section II-B).
 func RunA1(s *Suite, w io.Writer) error {
 	fmt.Fprintln(w, "A1: overlap mechanisms in isolation (ideal patterns, intermediate bandwidth)")
-	tb := stats.NewTable("app", "chunk-only", "early-send", "late-recv", "both")
+	names := paperAppsOf(s)
 	mechs := []overlap.Mechanism{0, overlap.EarlySend, overlap.LateRecv, overlap.BothMechanisms}
-	for _, name := range paperAppsOf(s) {
-		pl, err := s.PipelineFor(name)
+	pts := sweep.Grid{Apps: names, Mechanisms: mechs}.Expand()
+	cells, err := sweep.Map(s.engine(), len(pts), func(i int) (string, error) {
+		p := pts[i]
+		pl, err := s.PipelineFor(p.App)
 		if err != nil {
-			return err
+			return "", err
 		}
 		bw, err := pl.IntermediateBandwidth(s.Machine)
 		if err != nil {
-			return err
+			return "", err
 		}
-		m := s.Machine.WithBandwidth(bw)
-		row := []string{name}
-		for _, mech := range mechs {
-			sp, err := pl.Speedup(m, overlap.Options{Mechanisms: mech, Pattern: overlap.PatternLinear})
-			if err != nil {
-				return err
-			}
-			row = append(row, fmtPct(stats.PercentGain(sp)))
+		sp, err := pl.Speedup(s.Machine.WithBandwidth(bw),
+			overlap.Options{Mechanisms: p.Mechanisms, Pattern: overlap.PatternLinear})
+		if err != nil {
+			return "", err
 		}
+		return fmtPct(stats.PercentGain(sp)), nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("app", "chunk-only", "early-send", "late-recv", "both")
+	for ai, name := range names {
+		row := append([]string{name}, cells[ai*len(mechs):(ai+1)*len(mechs)]...)
 		tb.AddRow(row...)
 	}
 	return tb.Render(w)
@@ -241,33 +271,39 @@ func RunA1(s *Suite, w io.Writer) error {
 // posting cost more often, so a real platform has an optimum.
 func RunA2(s *Suite, w io.Writer) error {
 	chunkCounts := []int{1, 2, 4, 8, 16, 32}
+	names := paperAppsOf(s)
 	for _, ovh := range []units.Duration{0, 2 * units.Microsecond} {
 		fmt.Fprintf(w, "A2: chunk-count sweep (ideal patterns, intermediate bandwidth, CPU overhead %v)\n", ovh)
+		pts := sweep.Grid{Apps: names, Chunks: chunkCounts}.Expand()
+		cells, err := sweep.Map(s.engine(), len(pts), func(i int) (string, error) {
+			p := pts[i]
+			pl, err := s.PipelineFor(p.App)
+			if err != nil {
+				return "", err
+			}
+			bw, err := pl.IntermediateBandwidth(s.Machine)
+			if err != nil {
+				return "", err
+			}
+			m := s.Machine.WithBandwidth(bw)
+			m.CPUOverhead = ovh
+			sp, err := pl.Speedup(m, overlap.Options{
+				Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear, Chunks: p.Chunks})
+			if err != nil {
+				return "", err
+			}
+			return fmtPct(stats.PercentGain(sp)), nil
+		})
+		if err != nil {
+			return err
+		}
 		header := []string{"app"}
 		for _, c := range chunkCounts {
 			header = append(header, fmt.Sprintf("c=%d", c))
 		}
 		tb := stats.NewTable(header...)
-		for _, name := range paperAppsOf(s) {
-			pl, err := s.PipelineFor(name)
-			if err != nil {
-				return err
-			}
-			bw, err := pl.IntermediateBandwidth(s.Machine)
-			if err != nil {
-				return err
-			}
-			m := s.Machine.WithBandwidth(bw)
-			m.CPUOverhead = ovh
-			row := []string{name}
-			for _, c := range chunkCounts {
-				sp, err := pl.Speedup(m, overlap.Options{
-					Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear, Chunks: c})
-				if err != nil {
-					return err
-				}
-				row = append(row, fmtPct(stats.PercentGain(sp)))
-			}
+		for ai, name := range names {
+			row := append([]string{name}, cells[ai*len(chunkCounts):(ai+1)*len(chunkCounts)]...)
 			tb.AddRow(row...)
 		}
 		if err := tb.Render(w); err != nil {
@@ -292,71 +328,83 @@ func RunA3(s *Suite, w io.Writer) error {
 	}
 	base := s.Machine.WithBandwidth(bw)
 
+	// Each parameter axis is a one-dimensional sweep over platform
+	// variants: fan the replays out, then render rows in axis order.
+	paramSweep := func(n int, machineAt func(i int) machine.Config, labelAt func(i int) string) ([][]string, error) {
+		return sweep.Map(s.engine(), n, func(i int) ([]string, error) {
+			m := machineAt(i)
+			orig, err := pl.Original(m)
+			if err != nil {
+				return nil, err
+			}
+			over, err := pl.Overlapped(m, bothLinear)
+			if err != nil {
+				return nil, err
+			}
+			return []string{labelAt(i), units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
+				fmtPct(stats.PercentGain(float64(orig.Total) / float64(over.Total)))}, nil
+		})
+	}
+	renderParam := func(header string, rows [][]string) error {
+		tb := stats.NewTable(header, "T-original", "T-overlap", "speedup")
+		for _, row := range rows {
+			tb.AddRow(row...)
+		}
+		return tb.Render(w)
+	}
+
 	fmt.Fprintf(w, "A3: network-parameter ablation on %s at %s\n", name, fmtBW(bw))
-	tb := stats.NewTable("buses", "T-original", "T-overlap", "speedup")
-	for _, buses := range []int{1, 2, 4, 8, 0} {
-		m := base.WithBuses(buses)
-		orig, err := pl.Original(m)
-		if err != nil {
-			return err
-		}
-		over, err := pl.Overlapped(m, bothLinear)
-		if err != nil {
-			return err
-		}
-		label := fmt.Sprintf("%d", buses)
-		if buses == 0 {
-			label = "inf"
-		}
-		tb.AddRow(label, units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
-			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	busCounts := []int{1, 2, 4, 8, 0}
+	rows, err := paramSweep(len(busCounts),
+		func(i int) machine.Config { return base.WithBuses(busCounts[i]) },
+		func(i int) string {
+			if busCounts[i] == 0 {
+				return "inf"
+			}
+			return fmt.Sprintf("%d", busCounts[i])
+		})
+	if err != nil {
+		return err
 	}
-	if err := tb.Render(w); err != nil {
+	if err := renderParam("buses", rows); err != nil {
 		return err
 	}
 
-	tb2 := stats.NewTable("eager-threshold", "T-original", "T-overlap", "speedup")
-	for _, thr := range []units.Bytes{0, units.KB, 32 * units.KB, -1} {
-		m := base
-		m.EagerThreshold = thr
-		orig, err := pl.Original(m)
-		if err != nil {
-			return err
-		}
-		over, err := pl.Overlapped(m, bothLinear)
-		if err != nil {
-			return err
-		}
-		label := thr.String()
-		switch thr {
-		case 0:
-			label = "rendezvous-all"
-		case -1:
-			label = "eager-all"
-		}
-		tb2.AddRow(label, units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
-			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	thresholds := []units.Bytes{0, units.KB, 32 * units.KB, -1}
+	rows, err = paramSweep(len(thresholds),
+		func(i int) machine.Config {
+			m := base
+			m.EagerThreshold = thresholds[i]
+			return m
+		},
+		func(i int) string {
+			switch thresholds[i] {
+			case 0:
+				return "rendezvous-all"
+			case -1:
+				return "eager-all"
+			}
+			return thresholds[i].String()
+		})
+	if err != nil {
+		return err
 	}
-	if err := tb2.Render(w); err != nil {
+	if err := renderParam("eager-threshold", rows); err != nil {
 		return err
 	}
 
-	tb3 := stats.NewTable("cpu-overhead", "T-original", "T-overlap", "speedup")
-	for _, ovh := range []units.Duration{0, units.Microsecond, 2 * units.Microsecond, 4 * units.Microsecond} {
-		m := base
-		m.CPUOverhead = ovh
-		orig, err := pl.Original(m)
-		if err != nil {
-			return err
-		}
-		over, err := pl.Overlapped(m, bothLinear)
-		if err != nil {
-			return err
-		}
-		tb3.AddRow(ovh.String(), units.Duration(orig.Total).String(), units.Duration(over.Total).String(),
-			fmtPct(stats.PercentGain(float64(orig.Total)/float64(over.Total))))
+	overheads := []units.Duration{0, units.Microsecond, 2 * units.Microsecond, 4 * units.Microsecond}
+	rows, err = paramSweep(len(overheads),
+		func(i int) machine.Config {
+			m := base
+			m.CPUOverhead = overheads[i]
+			return m
+		},
+		func(i int) string { return overheads[i].String() })
+	if err != nil {
+		return err
 	}
-	return tb3.Render(w)
+	return renderParam("cpu-overhead", rows)
 }
 
 // RunB1 compares the Sancho et al. closed-form predictions with the

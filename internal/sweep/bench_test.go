@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/units"
+)
+
+// BenchmarkSweep measures a representative bandwidth × chunk × mechanism
+// sweep at several worker counts. The trace caches are primed before the
+// timer so the numbers isolate the fanned-out replay work — the stage the
+// worker pool parallelizes.
+func BenchmarkSweep(b *testing.B) {
+	g := Grid{
+		Apps: []string{"pingpong"},
+		Bandwidths: []units.Bandwidth{16 * units.MBPerSec, 64 * units.MBPerSec,
+			256 * units.MBPerSec, units.GBPerSec, 4 * units.GBPerSec, 16 * units.GBPerSec},
+		Chunks:     []int{4, 8, 16},
+		Mechanisms: []overlap.Mechanism{overlap.EarlySend, overlap.LateRecv, overlap.BothMechanisms},
+	}
+	// On a multi-core machine the second run shows the pool's speedup; on
+	// a single core it degenerates to the serial cost plus noise.
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := NewRunner(machine.Default())
+			r.Size = 512
+			r.Iters = 2
+			r.Engine = Engine{Workers: workers}
+			if _, err := r.Run(g); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+// Package sweep is the parallel parameter-sweep subsystem: it expands a
+// declarative grid of simulation configurations (application × ranks ×
+// bandwidth × chunk granularity × overlap mechanism × pattern) into
+// independent jobs, fans them out over a bounded worker pool, and merges
+// the results in stable point order.
+//
+// Determinism is the package's contract: every job is a pure function of
+// its grid point, jobs are claimed in ascending point order, and results
+// (and the first error) are reported in point order — so the output of a
+// sweep is bit-identical regardless of the worker count. This is the
+// methodology of the source paper at scale: trace an application once,
+// then replay it across many platform configurations to map speedup and
+// iso-performance curves.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine fans independent jobs out over a bounded worker pool. The zero
+// value is valid and uses one worker per CPU.
+type Engine struct {
+	// Workers bounds the pool; 0 or negative means runtime.NumCPU().
+	Workers int
+}
+
+// WorkerCount returns the effective pool size.
+func (e Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// JobError reports the failure of one job, identified by its index in the
+// expanded point order. Map always surfaces the error of the lowest failing
+// index, so the reported failure is independent of the worker count.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("sweep: job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying job failure.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Map runs fn(i) for every i in [0, n) on the engine's worker pool and
+// returns the results in index order. fn must be safe for concurrent use
+// and deterministic in i for the worker-count invariance guarantee to hold.
+//
+// On failure Map returns a *JobError wrapping the error of the lowest
+// failing index. Jobs not yet claimed when a failure is observed are
+// skipped; jobs already claimed run to completion. Because workers claim
+// indices in ascending order, every index below the lowest failing one has
+// been claimed (and succeeds) by the time the failure can be observed, so
+// the reported error is the same one a serial run would hit first.
+func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := e.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, &JobError{Index: i, Err: err}
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// The failure check precedes the claim: once an index is
+				// claimed it always runs, which is what guarantees every
+				// index below the lowest failing one completes.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &JobError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"overlapsim/internal/apps"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/units"
+)
+
+// Point is one simulation configuration: which application to replay, at
+// what scale, on what network, with which overlap transformation.
+type Point struct {
+	// App names a bundled application (apps.Names lists them).
+	App string
+	// Ranks is the process count; 0 uses the app's default.
+	Ranks int
+	// Bandwidth is the network bandwidth. BaseBandwidth (negative) keeps
+	// the base platform's; 0 means infinitely fast, matching the machine
+	// model's convention.
+	Bandwidth units.Bandwidth
+	// Chunks is the partial-message granularity the tracing tool profiles.
+	Chunks int
+	// Mechanisms selects the overlap transformation's mechanisms.
+	Mechanisms overlap.Mechanism
+	// Pattern selects measured (real) or ideal (linear) patterns.
+	Pattern overlap.Pattern
+}
+
+// Options returns the overlap transformation the point requests.
+func (p Point) Options() overlap.Options {
+	return overlap.Options{Mechanisms: p.Mechanisms, Pattern: p.Pattern}
+}
+
+// String is a compact stable label, e.g. "bt r4 c8 256.0MB/s both linear".
+func (p Point) String() string {
+	bw := "base-bw"
+	if p.Bandwidth >= 0 {
+		bw = p.Bandwidth.String()
+	}
+	ranks := "rdefault"
+	if p.Ranks > 0 {
+		ranks = fmt.Sprintf("r%d", p.Ranks)
+	}
+	return fmt.Sprintf("%s %s c%d %s %s %s", p.App, ranks, p.Chunks, bw, p.Mechanisms, p.Pattern)
+}
+
+// Grid declares a parameter sweep as the cross product of its axes. Empty
+// axes collapse to a single default value, so the zero Grid plus one app is
+// already a runnable one-point sweep.
+type Grid struct {
+	Apps       []string
+	Ranks      []int             // 0 = app default
+	Bandwidths []units.Bandwidth // BaseBandwidth = base platform, 0 = infinite
+	Chunks     []int
+	Mechanisms []overlap.Mechanism
+	Patterns   []overlap.Pattern
+}
+
+// DefaultChunks is the granularity used when the Chunks axis is empty,
+// matching the experiment suite's default.
+const DefaultChunks = 8
+
+// BaseBandwidth on a bandwidth axis keeps the base platform's bandwidth
+// for that point. It is distinct from 0, which the machine model reads as
+// infinitely fast.
+const BaseBandwidth units.Bandwidth = -1
+
+// normalized returns the grid with every empty axis replaced by its
+// single-value default.
+func (g Grid) normalized() Grid {
+	if len(g.Ranks) == 0 {
+		g.Ranks = []int{0}
+	}
+	if len(g.Bandwidths) == 0 {
+		g.Bandwidths = []units.Bandwidth{BaseBandwidth}
+	}
+	if len(g.Chunks) == 0 {
+		g.Chunks = []int{DefaultChunks}
+	}
+	if len(g.Mechanisms) == 0 {
+		g.Mechanisms = []overlap.Mechanism{overlap.BothMechanisms}
+	}
+	if len(g.Patterns) == 0 {
+		g.Patterns = []overlap.Pattern{overlap.PatternLinear}
+	}
+	return g
+}
+
+// Size returns the number of points the grid expands to.
+func (g Grid) Size() int {
+	g = g.normalized()
+	return len(g.Apps) * len(g.Ranks) * len(g.Bandwidths) * len(g.Chunks) *
+		len(g.Mechanisms) * len(g.Patterns)
+}
+
+// Validate rejects grids that cannot run: no application, unknown
+// application names, or out-of-range chunk counts.
+func (g Grid) Validate() error {
+	if len(g.Apps) == 0 {
+		return fmt.Errorf("sweep: grid has no applications (have %s)", strings.Join(apps.Names(), ", "))
+	}
+	for _, name := range g.Apps {
+		if _, err := apps.Lookup(name); err != nil {
+			return err
+		}
+	}
+	for _, c := range g.normalized().Chunks {
+		if c < 1 || c > overlap.MaxChunks {
+			return fmt.Errorf("sweep: chunk count %d out of range [1, %d]", c, overlap.MaxChunks)
+		}
+	}
+	for _, r := range g.Ranks {
+		if r < 0 {
+			return fmt.Errorf("sweep: negative rank count %d", r)
+		}
+	}
+	return nil
+}
+
+// Expand enumerates the cross product in stable nested order (apps
+// outermost, patterns innermost). The order defines the point indices that
+// the engine, the results, and error reporting all share.
+func (g Grid) Expand() []Point {
+	g = g.normalized()
+	pts := make([]Point, 0, g.Size())
+	for _, app := range g.Apps {
+		for _, ranks := range g.Ranks {
+			for _, bw := range g.Bandwidths {
+				for _, chunks := range g.Chunks {
+					for _, mech := range g.Mechanisms {
+						for _, pat := range g.Patterns {
+							pts = append(pts, Point{
+								App:        app,
+								Ranks:      ranks,
+								Bandwidth:  bw,
+								Chunks:     chunks,
+								Mechanisms: mech,
+								Pattern:    pat,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"overlapsim/internal/stats"
+	"overlapsim/internal/units"
+)
+
+// Format names a result encoding the writers support.
+type Format string
+
+// Result encodings.
+const (
+	FormatTable Format = "table"
+	FormatCSV   Format = "csv"
+	FormatJSON  Format = "json"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatTable, FormatCSV, FormatJSON:
+		return Format(s), nil
+	default:
+		return "", fmt.Errorf("sweep: unknown format %q (want table, csv or json)", s)
+	}
+}
+
+// Write encodes the results in the given format.
+func Write(w io.Writer, f Format, results []Result) error {
+	switch f {
+	case FormatCSV:
+		return WriteCSV(w, results)
+	case FormatJSON:
+		return WriteJSON(w, results)
+	default:
+		return WriteTable(w, results)
+	}
+}
+
+func ranksLabel(r int) string {
+	if r == 0 {
+		return "default"
+	}
+	return fmt.Sprint(r)
+}
+
+// WriteTable renders the results as the aligned text table the experiment
+// harness uses.
+func WriteTable(w io.Writer, results []Result) error {
+	tb := stats.NewTable("app", "ranks", "bandwidth", "chunks", "mechanisms", "pattern",
+		"T-original", "T-overlap", "speedup", "blocked")
+	for _, r := range results {
+		p := r.Point
+		tb.AddRow(p.App, ranksLabel(p.Ranks), r.Bandwidth.String(), fmt.Sprint(p.Chunks),
+			p.Mechanisms.String(), p.Pattern.String(),
+			units.Duration(r.TOriginal).String(), units.Duration(r.TOverlap).String(),
+			fmt.Sprintf("%.3fx", r.Speedup), fmt.Sprintf("%.3f", r.Blocked))
+	}
+	return tb.Render(w)
+}
+
+// WriteCSV encodes the results as one CSV row per point. Times are exact
+// nanosecond integers so downstream tooling does not lose precision to the
+// human-readable rendering.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "ranks", "bandwidth_bytes_per_sec", "chunks", "mechanisms",
+		"pattern", "t_original_ns", "t_overlap_ns", "speedup", "blocked_fraction", "des_steps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		p := r.Point
+		rec := []string{
+			p.App,
+			fmt.Sprint(p.Ranks),
+			fmt.Sprintf("%.0f", float64(r.Bandwidth)),
+			fmt.Sprint(p.Chunks),
+			p.Mechanisms.String(),
+			p.Pattern.String(),
+			fmt.Sprint(int64(r.TOriginal)),
+			fmt.Sprint(int64(r.TOverlap)),
+			fmt.Sprintf("%.6f", r.Speedup),
+			fmt.Sprintf("%.6f", r.Blocked),
+			fmt.Sprint(r.Steps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonResult is the stable JSON projection of a Result.
+type jsonResult struct {
+	App       string  `json:"app"`
+	Ranks     int     `json:"ranks"`
+	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
+	Chunks    int     `json:"chunks"`
+	Mechanism string  `json:"mechanisms"`
+	Pattern   string  `json:"pattern"`
+	TOriginal int64   `json:"t_original_ns"`
+	TOverlap  int64   `json:"t_overlap_ns"`
+	Speedup   float64 `json:"speedup"`
+	Blocked   float64 `json:"blocked_fraction"`
+	Steps     int64   `json:"des_steps"`
+}
+
+// WriteJSON encodes the results as an indented JSON array in point order.
+func WriteJSON(w io.Writer, results []Result) error {
+	out := make([]jsonResult, len(results))
+	for i, r := range results {
+		p := r.Point
+		out[i] = jsonResult{
+			App:       p.App,
+			Ranks:     p.Ranks,
+			Bandwidth: float64(r.Bandwidth),
+			Chunks:    p.Chunks,
+			Mechanism: p.Mechanisms.String(),
+			Pattern:   p.Pattern.String(),
+			TOriginal: int64(r.TOriginal),
+			TOverlap:  int64(r.TOverlap),
+			Speedup:   r.Speedup,
+			Blocked:   r.Blocked,
+			Steps:     r.Steps,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"sync"
+
+	"overlapsim/internal/apps"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// Runner executes grids: it traces every distinct (app, ranks, chunks)
+// workload exactly once — the single instrumented run of the paper's
+// methodology — caches the overlapped trace variants, and replays each grid
+// point on its platform. All methods are safe for concurrent use; the
+// engine's workers share the caches.
+type Runner struct {
+	// Base is the platform every point starts from; a point's Bandwidth
+	// (when non-negative) overrides the base network bandwidth.
+	Base machine.Config
+	// Size and Iters scale every traced workload; 0 keeps app defaults.
+	Size  int
+	Iters int
+	// Engine is the worker pool configuration.
+	Engine Engine
+
+	mu    sync.Mutex
+	pipes map[pipeKey]*pipeline
+}
+
+type pipeKey struct {
+	app    string
+	ranks  int
+	chunks int
+}
+
+// pipeline is one traced workload with its variant cache. The trace runs
+// under once, so concurrent points that share a workload wait for a single
+// instrumented run instead of repeating it.
+type pipeline struct {
+	once sync.Once
+	ps   *overlap.ProfiledSet
+	err  error
+
+	variants VariantCache
+}
+
+// NewRunner returns a runner on the given base platform with default scale.
+func NewRunner(base machine.Config) *Runner {
+	return &Runner{Base: base}
+}
+
+func (r *Runner) pipelineFor(key pipeKey) *pipeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pipes == nil {
+		r.pipes = map[pipeKey]*pipeline{}
+	}
+	p, ok := r.pipes[key]
+	if !ok {
+		p = &pipeline{}
+		r.pipes[key] = p
+	}
+	return p
+}
+
+// profiled traces the workload on first use and returns the cached set.
+func (r *Runner) profiled(key pipeKey) (*overlap.ProfiledSet, error) {
+	p := r.pipelineFor(key)
+	p.once.Do(func() {
+		app, err := apps.New(key.app, apps.Config{Ranks: key.ranks, Size: r.Size, Iterations: r.Iters})
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.ps, p.err = tracer.Trace(app, tracer.Options{Chunks: key.chunks})
+	})
+	return p.ps, p.err
+}
+
+// machineFor applies the point's platform overrides to the base config. A
+// negative bandwidth (BaseBandwidth) keeps the base platform's; zero means
+// infinitely fast, following the machine model's convention.
+func (r *Runner) machineFor(p Point) machine.Config {
+	m := r.Base
+	if m.Nodes == 0 {
+		m = machine.Default()
+	}
+	if p.Bandwidth >= 0 {
+		m = m.WithBandwidth(p.Bandwidth)
+	}
+	return m
+}
+
+// RunPoint simulates one grid point: the original replay, the overlapped
+// replay, and the derived speedup.
+func (r *Runner) RunPoint(p Point) (Result, error) {
+	if p.Chunks == 0 {
+		p.Chunks = DefaultChunks
+	}
+	key := pipeKey{app: p.App, ranks: p.Ranks, chunks: p.Chunks}
+	ps, err := r.profiled(key)
+	if err != nil {
+		return Result{}, err
+	}
+	m := r.machineFor(p)
+	orig, err := replay.Simulate(ps.Original, m)
+	if err != nil {
+		return Result{}, err
+	}
+	ts, err := r.pipelineFor(key).variants.Get(ps, p.Options())
+	if err != nil {
+		return Result{}, err
+	}
+	over, err := replay.Simulate(ts, m)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Point:     p,
+		Bandwidth: m.Bandwidth,
+		TOriginal: orig.Total,
+		TOverlap:  over.Total,
+		Speedup:   1,
+		Blocked:   orig.MeanBlockedFraction(),
+		Steps:     orig.Steps + over.Steps,
+	}
+	if over.Total > 0 {
+		res.Speedup = float64(orig.Total) / float64(over.Total)
+	}
+	return res, nil
+}
+
+// Run expands the grid and simulates every point on the worker pool.
+// Results come back in expansion order, bit-identical for any worker
+// count; the first error (in point order) aborts the sweep.
+func (r *Runner) Run(g Grid) ([]Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pts := g.Expand()
+	return Map(r.Engine, len(pts), func(i int) (Result, error) {
+		return r.RunPoint(pts[i])
+	})
+}
+
+// Result is the outcome of one grid point.
+type Result struct {
+	Point Point
+	// Bandwidth is the effective network bandwidth the point replayed on,
+	// with the base platform's value resolved in (0 = infinite).
+	Bandwidth units.Bandwidth
+	// TOriginal and TOverlap are the simulated runtimes of the original
+	// and the overlap-transformed executions.
+	TOriginal units.Time
+	TOverlap  units.Time
+	// Speedup is TOriginal/TOverlap (1 when TOverlap is zero).
+	Speedup float64
+	// Blocked is the original execution's mean blocked-time fraction, the
+	// measure that locates the intermediate-bandwidth regime.
+	Blocked float64
+	// Steps counts DES events executed across both replays.
+	Steps int64
+}

@@ -37,6 +37,7 @@ import (
 	"overlapsim/internal/experiment"
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
+	"overlapsim/internal/sweep"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/tracer"
 	"overlapsim/internal/units"
@@ -66,6 +67,24 @@ type (
 	TraceSet = trace.Set
 	// Suite runs the paper's experiments.
 	Suite = experiment.Suite
+)
+
+// Re-exported parameter-sweep types. A SweepGrid declares the cross product
+// of applications, rank counts, bandwidths, chunk granularities, overlap
+// mechanisms and patterns; a SweepRunner expands it into independent
+// simulation jobs and fans them out over a bounded worker pool, returning
+// results in stable point order (bit-identical for any worker count).
+type (
+	// SweepGrid declares a parameter sweep as the cross product of axes.
+	SweepGrid = sweep.Grid
+	// SweepPoint is one simulation configuration of a grid.
+	SweepPoint = sweep.Point
+	// SweepResult is the outcome of one grid point.
+	SweepResult = sweep.Result
+	// SweepEngine bounds the worker pool simulations fan out on.
+	SweepEngine = sweep.Engine
+	// SweepRunner executes grids with shared trace caches.
+	SweepRunner = sweep.Runner
 )
 
 // Re-exported unit types.
@@ -127,6 +146,20 @@ func MeasuredOverlap() TransformOptions {
 
 // NewSuite returns the experiment suite on the default platform.
 func NewSuite() *Suite { return experiment.NewSuite() }
+
+// NewSweepRunner returns a sweep runner on the given platform. Configure
+// its Engine field to bound the worker pool (zero means one per CPU).
+func NewSweepRunner(m Machine) *SweepRunner { return sweep.NewRunner(m) }
+
+// WriteSweepResults encodes sweep results in the named format: "table",
+// "csv" or "json".
+func WriteSweepResults(w io.Writer, format string, results []SweepResult) error {
+	f, err := sweep.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	return sweep.Write(w, f, results)
+}
 
 // RunExperiment runs one of the paper's experiments (f1, e1, e2, e2f, e3,
 // a1, a2, a3, b1) and writes its tables to w.
