@@ -10,7 +10,9 @@
 //	                 [-pattern real|linear] [-width N] [platform flags]
 //	overlapsim sweep -apps <a,b,...> [-ranks N,...] [-bws BW,...] [-chunks N,...]
 //	                 [-mechs M,...] [-patterns P,...] [-size N] [-iters N]
-//	                 [-workers N] [-format table|csv|json] [-o file] [platform flags]
+//	                 [-workers N] [-format table|csv|json] [-o file]
+//	                 [-shard k/N] [-cache-dir dir] [-progress] [platform flags]
+//	overlapsim merge [-format table|csv|json] [-o file] <shard.json> ...
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		err = runStudy(os.Args[2:])
 	case "sweep":
 		err = runSweep(os.Args[2:], os.Stdout)
+	case "merge":
+		err = runMerge(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -64,7 +68,8 @@ func usage() {
   overlapsim list                                 list applications and experiments
   overlapsim run <id>|all [-quick] [flags]        regenerate the paper's evaluation
   overlapsim study -app <name> [flags]            one-off overlap study with visualization
-  overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)`)
+  overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)
+  overlapsim merge [flags] <shard.json> ...       recombine sweep shard outputs`)
 }
 
 func runList() error {
@@ -94,6 +99,7 @@ func runExperiments(args []string) error {
 	quick := fs.Bool("quick", false, "use small workloads for a fast pass")
 	chunks := fs.Int("chunks", 8, "partial-message granularity")
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = one per CPU); results are identical for any value")
+	cacheDir := fs.String("cache-dir", "", "persistent trace cache directory; repeated runs skip the instrumented runs")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +116,9 @@ func runExperiments(args []string) error {
 	suite.Quick = *quick
 	suite.Chunks = *chunks
 	suite.Workers = *workers
+	if *cacheDir != "" {
+		suite.Cache = &sweep.TraceCache{Dir: *cacheDir}
+	}
 
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
@@ -188,7 +197,9 @@ func runStudy(args []string) error {
 
 // runSweep expands a declarative grid from the command line and fans the
 // simulations out over the sweep engine's worker pool. Output is in stable
-// point order: byte-identical for any -workers value.
+// point order: byte-identical for any -workers value. With -shard k/N only
+// that shard's points run and the output is a mergeable shard file; with
+// -cache-dir instrumented runs are shared across processes.
 func runSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	appsFlag := fs.String("apps", "", "comma-separated applications to sweep (required; see overlapsim list)")
@@ -202,6 +213,9 @@ func runSweep(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = one per CPU); results are identical for any value")
 	format := fs.String("format", "table", "output format: table, csv or json")
 	out := fs.String("o", "", "write results to this file instead of stdout")
+	shardFlag := fs.String("shard", "", "run only shard k/N of the grid (e.g. 1/2) and write a shard file for overlapsim merge")
+	cacheDir := fs.String("cache-dir", "", "persistent trace cache directory shared by repeated sweeps and sibling shards")
+	progress := fs.Bool("progress", false, "report completed/total points to stderr as the sweep runs")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -238,24 +252,112 @@ func runSweep(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	var shard sweep.Shard
+	if *shardFlag != "" {
+		if shard, err = sweep.ParseShard(*shardFlag); err != nil {
+			return err
+		}
+		formatSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if formatSet {
+			return fmt.Errorf("-shard writes a shard file; choose the final format on overlapsim merge instead")
+		}
+	}
+
 	runner := sweep.NewRunner(cfg)
 	runner.Size = *size
 	runner.Iters = *iters
 	runner.Engine = sweep.Engine{Workers: *workers}
-	fmt.Fprintf(os.Stderr, "sweep: %d points on %d workers\n", grid.Size(), runner.Engine.WorkerCount())
-	results, err := runner.Run(grid)
-	if err != nil {
-		return err
+	if *cacheDir != "" {
+		runner.Cache = &sweep.TraceCache{Dir: *cacheDir}
 	}
 
-	if *out == "" {
-		return sweep.Write(stdout, f, results)
+	total := grid.Size()
+	indices := shard.Indices(total)
+	if *progress {
+		runner.Engine.Progress = func(done, n int) {
+			fmt.Fprintf(os.Stderr, "sweep: completed %d/%d points\n", done, n)
+		}
 	}
-	file, err := os.Create(*out)
+	if shard.IsZero() {
+		fmt.Fprintf(os.Stderr, "sweep: %d points on %d workers\n", total, runner.Engine.WorkerCount())
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep: shard %s: %d of %d points on %d workers\n",
+			shard, len(indices), total, runner.Engine.WorkerCount())
+	}
+
+	results, err := runner.RunIndices(grid, indices)
 	if err != nil {
 		return err
 	}
-	if err := sweep.Write(file, f, results); err != nil {
+	if err := runner.CacheStoreErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: warning: trace cache not updated (next run will re-trace): %v\n", err)
+	}
+
+	if !shard.IsZero() {
+		sig := sweep.Signature(grid, cfg, *size, *iters)
+		return writeOutput(stdout, *out, func(w io.Writer) error {
+			return sweep.WriteShard(w, sig, total, shard, indices, results)
+		})
+	}
+	return writeOutput(stdout, *out, func(w io.Writer) error {
+		return sweep.Write(w, f, results)
+	})
+}
+
+// runMerge recombines shard files written by sweep -shard into the final
+// table/CSV/JSON, byte-identical to the same sweep run unsharded.
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	format := fs.String("format", "table", "output format: table, csv or json")
+	out := fs.String("o", "", "write results to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge wants at least one shard file")
+	}
+	f, err := sweep.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	shards := make([]*sweep.ShardFile, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sf, err := sweep.ReadShard(file)
+		file.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sf)
+	}
+	results, err := sweep.Merge(shards)
+	if err != nil {
+		return err
+	}
+	return writeOutput(stdout, *out, func(w io.Writer) error {
+		return sweep.Write(w, f, results)
+	})
+}
+
+// writeOutput writes through the encoder to stdout or, when path is
+// non-empty, to the named file.
+func writeOutput(stdout io.Writer, path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(stdout)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(file); err != nil {
 		file.Close()
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -126,6 +127,112 @@ func TestRunSweepErrors(t *testing.T) {
 	}
 	if err := runSweep([]string{"-apps", "pingpong", "stray"}, &sink); err == nil {
 		t.Error("positional arg: expected error")
+	}
+}
+
+// shardSweepArgs is a small two-axis grid shared by the shard CLI tests.
+var shardSweepArgs = []string{
+	"-apps", "pingpong", "-bws", "64MB/s,256MB/s", "-chunks", "4,8",
+	"-mechs", "earlysend,both", "-size", "512", "-iters", "2",
+}
+
+func TestRunSweepShardMergeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+
+	var unsharded bytes.Buffer
+	if err := runSweep(append([]string{"-format", "csv"}, shardSweepArgs...), &unsharded); err != nil {
+		t.Fatal(err)
+	}
+
+	shard1 := filepath.Join(dir, "shard1.json")
+	shard2 := filepath.Join(dir, "shard2.json")
+	for i, path := range []string{shard1, shard2} {
+		var stdout bytes.Buffer
+		args := append([]string{
+			"-shard", fmt.Sprintf("%d/2", i+1), "-cache-dir", cache, "-o", path,
+		}, shardSweepArgs...)
+		if err := runSweep(args, &stdout); err != nil {
+			t.Fatal(err)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("shard %d leaked to stdout: %q", i+1, stdout.String())
+		}
+	}
+
+	var merged bytes.Buffer
+	if err := runMerge([]string{"-format", "csv", shard1, shard2}, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
+		t.Errorf("merged shards differ from unsharded run:\n%s\n---\n%s",
+			unsharded.String(), merged.String())
+	}
+}
+
+func TestRunSweepShardRejectsFormat(t *testing.T) {
+	var sink bytes.Buffer
+	args := append([]string{"-shard", "1/2", "-format", "csv"}, shardSweepArgs...)
+	if err := runSweep(args, &sink); err == nil || !strings.Contains(err.Error(), "merge") {
+		t.Errorf("expected -format-with-shard error, got %v", err)
+	}
+	if err := runSweep(append([]string{"-shard", "9/2"}, shardSweepArgs...), &sink); err == nil {
+		t.Error("out-of-range shard: expected error")
+	}
+}
+
+func TestRunSweepCacheDirWarm(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache")
+	run := func() []byte {
+		var out bytes.Buffer
+		args := append([]string{"-format", "csv", "-cache-dir", cache}, shardSweepArgs...)
+		if err := runSweep(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	cold := run()
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated: %v (%d entries)", err, len(entries))
+	}
+	warm := run()
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm-cache output differs:\n%s\n---\n%s", cold, warm)
+	}
+}
+
+func TestRunSweepProgressKeepsStdoutClean(t *testing.T) {
+	var plain, progress bytes.Buffer
+	args := []string{"-apps", "pingpong", "-size", "256", "-iters", "1", "-format", "csv"}
+	if err := runSweep(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-progress"}, args...), &progress); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), progress.Bytes()) {
+		t.Errorf("-progress perturbed stdout:\n%s\n---\n%s", plain.String(), progress.String())
+	}
+}
+
+func TestRunMergeErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := runMerge([]string{}, &sink); err == nil {
+		t.Error("no shards: expected error")
+	}
+	if err := runMerge([]string{filepath.Join(t.TempDir(), "nope.json")}, &sink); err == nil {
+		t.Error("missing file: expected error")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not a shard"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMerge([]string{garbage}, &sink); err == nil {
+		t.Error("garbage file: expected error")
+	}
+	if err := runMerge([]string{"-format", "yaml", garbage}, &sink); err == nil {
+		t.Error("bad format: expected error")
 	}
 }
 

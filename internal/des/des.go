@@ -1,11 +1,3 @@
-// Package des implements the discrete-event simulation engine underneath
-// the trace replayer (the Dimemas-like stage of the environment).
-//
-// The engine is deliberately minimal and fully deterministic: events are
-// ordered by (time, insertion sequence), so replaying the same trace set on
-// the same platform configuration always yields bit-identical results. The
-// replayer builds rank state machines and network resource schedulers on
-// top of it.
 package des
 
 import (

@@ -1,0 +1,16 @@
+// Package des implements the discrete-event simulation engine underneath
+// the trace replayer (the Dimemas-like stage of the environment) — the
+// clockwork at the bottom of the trace → variant → replay pipeline.
+//
+// The engine is deliberately minimal and fully deterministic: events are
+// ordered by (time, insertion sequence), so replaying the same trace set
+// on the same platform configuration always yields bit-identical results.
+// That property propagates upward — it is what entitles the replay package
+// to be treated as a pure function and the sweep layer to memoize replays
+// and merge sharded runs byte-identically.
+//
+// The replayer builds rank state machines and network resource schedulers
+// (see Resource) on top of the engine. The event queue is a 4-ary min-heap
+// of inline values — no per-event allocation, no heap-index bookkeeping —
+// because queue churn dominates replay hot loops.
+package des

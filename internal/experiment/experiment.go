@@ -67,12 +67,19 @@ func NewPipeline(appName string, cfg apps.Config, chunks int) (*Pipeline, error)
 	if err != nil {
 		return nil, err
 	}
+	return NewPipelineFromProfiled(appName, cfg, ps), nil
+}
+
+// NewPipelineFromProfiled wraps an already-profiled trace set — e.g. one
+// loaded from a sweep.TraceCache — in a pipeline, skipping the
+// instrumented run.
+func NewPipelineFromProfiled(appName string, cfg apps.Config, ps *overlap.ProfiledSet) *Pipeline {
 	return &Pipeline{
 		AppName:  appName,
 		Cfg:      cfg,
-		Chunks:   chunks,
+		Chunks:   ps.Chunks,
 		Profiled: ps,
-	}, nil
+	}
 }
 
 // OriginalSet returns the non-overlapped trace.
@@ -221,6 +228,10 @@ type Suite struct {
 	// Workers bounds the sweep worker pool the experiments fan out on;
 	// 0 means one worker per CPU. Results are identical for any value.
 	Workers int
+	// Cache, when non-nil, persists profiled trace sets across processes,
+	// so repeated experiment runs skip the instrumented runs. Results are
+	// identical with a cold, warm or absent cache.
+	Cache *sweep.TraceCache
 
 	mu        sync.Mutex
 	pipelines map[string]*pipeSlot
@@ -281,13 +292,39 @@ func (s *Suite) PipelineFor(name string) (*Pipeline, error) {
 	s.mu.Unlock()
 
 	slot.once.Do(func() {
-		chunks := s.Chunks
-		if chunks == 0 {
-			chunks = 8
-		}
-		slot.pl, slot.err = NewPipeline(name, s.AppConfig(name), chunks)
+		slot.pl, slot.err = s.CachedPipeline(name, s.AppConfig(name), s.Chunks)
 	})
 	return slot.pl, slot.err
+}
+
+// CachedPipeline builds a pipeline for an arbitrary workload through the
+// suite's trace cache: a cached profiled set skips the instrumented run, a
+// fresh trace is stored for later runs. Unlike PipelineFor it is not
+// memoized per suite — it serves experiments that scale workloads beyond
+// the suite defaults (e.g. S1's rank sweep). Load errors (a corrupt cache)
+// surface; store errors are best-effort, because a read-only or full cache
+// directory must not discard a trace that just succeeded.
+func (s *Suite) CachedPipeline(name string, cfg apps.Config, chunks int) (*Pipeline, error) {
+	if chunks == 0 {
+		chunks = 8
+	}
+	if s.Cache == nil {
+		return NewPipeline(name, cfg, chunks)
+	}
+	key := s.Cache.Key(name, cfg.Ranks, chunks, cfg.Size, cfg.Iterations)
+	ps, err := s.Cache.Load(key)
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		return NewPipelineFromProfiled(name, cfg, ps), nil
+	}
+	pl, err := NewPipeline(name, cfg, chunks)
+	if err != nil {
+		return nil, err
+	}
+	_ = s.Cache.Store(key, pl.Profiled)
+	return pl, nil
 }
 
 // bothLinear and bothReal are the two headline variants.

@@ -458,7 +458,7 @@ func RunS1(s *Suite, w io.Writer) error {
 	}
 	tb := stats.NewTable("ranks", "grid", "bandwidth", "T-original", "T-overlap", "speedup")
 	for _, ranks := range rankCounts {
-		pl, err := NewPipeline("sweep3d", apps.Config{Ranks: ranks, Size: size, Iterations: iters}, s.Chunks)
+		pl, err := s.CachedPipeline("sweep3d", apps.Config{Ranks: ranks, Size: size, Iterations: iters}, s.Chunks)
 		if err != nil {
 			return err
 		}

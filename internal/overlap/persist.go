@@ -1,0 +1,157 @@
+package overlap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"overlapsim/internal/trace"
+)
+
+// The profile text format, one record per line, complementing the trace
+// codec: a trace file plus a profile file reconstruct a ProfiledSet without
+// re-running the instrumented application.
+//
+//	# comment
+//	P <chunks>                                  (header, exactly once, first)
+//	A <rank> <recIndex> prod|cons <burst> <offsets...>
+//
+// Lines are emitted in deterministic order (ranks ascending, record
+// indices ascending, production before consumption) so the encoding of a
+// given set is byte-stable.
+
+// WriteProfiles encodes the per-record annotations of the profiled set.
+func WriteProfiles(w io.Writer, ps *ProfiledSet) error {
+	if ps == nil || ps.Original == nil {
+		return fmt.Errorf("overlap: nil profiled set")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# overlapsim profiles: %s (chunks=%d)\n", ps.Original.Name, ps.Chunks)
+	fmt.Fprintf(bw, "P %d\n", ps.Chunks)
+	for rank, anns := range ps.Annotations {
+		idxs := make([]int, 0, len(anns))
+		for i := range anns {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			a := anns[i]
+			if a.Production != nil {
+				writeProfileLine(bw, rank, i, "prod", a.Production)
+			}
+			if a.Consumption != nil {
+				writeProfileLine(bw, rank, i, "cons", a.Consumption)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeProfileLine(w io.Writer, rank, index int, kind string, p *Profile) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "A %d %d %s %d", rank, index, kind, p.Burst)
+	for _, o := range p.Offsets {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatInt(o, 10))
+	}
+	fmt.Fprintln(w, sb.String())
+}
+
+// ReadProfiles decodes annotations written by WriteProfiles and binds them
+// to the original trace set, reconstructing the ProfiledSet the tracer
+// would have produced. Ranks and record indices are validated against the
+// trace so a profile file cannot be paired with the wrong trace silently.
+func ReadProfiles(r io.Reader, original *trace.Set) (*ProfiledSet, error) {
+	if original == nil {
+		return nil, fmt.Errorf("overlap: profiles need an original trace set")
+	}
+	ps := &ProfiledSet{
+		Original:    original,
+		Annotations: make([]map[int]Annotation, original.NRanks()),
+	}
+	for i := range ps.Annotations {
+		ps.Annotations[i] = map[int]Annotation{}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("overlap: profiles line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "P":
+			if sawHeader {
+				return nil, fail("duplicate header")
+			}
+			if len(fields) != 2 {
+				return nil, fail("bad header")
+			}
+			chunks, err := strconv.Atoi(fields[1])
+			if err != nil || chunks < 1 || chunks > MaxChunks {
+				return nil, fail("bad chunk count")
+			}
+			ps.Chunks = chunks
+			sawHeader = true
+		case "A":
+			if !sawHeader {
+				return nil, fail("annotation before header")
+			}
+			if len(fields) < 5 {
+				return nil, fail("short annotation")
+			}
+			rank, err1 := strconv.Atoi(fields[1])
+			index, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad rank/index")
+			}
+			if rank < 0 || rank >= original.NRanks() {
+				return nil, fail("rank out of range")
+			}
+			if index < 0 || index >= len(original.Traces[rank].Records) {
+				return nil, fail("record index out of range")
+			}
+			kind := fields[3]
+			p := &Profile{}
+			if p.Burst, err1 = strconv.ParseInt(fields[4], 10, 64); err1 != nil {
+				return nil, fail("bad burst length")
+			}
+			for _, f := range fields[5:] {
+				o, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fail("bad offset")
+				}
+				p.Offsets = append(p.Offsets, o)
+			}
+			a := ps.Annotations[rank][index]
+			switch kind {
+			case "prod":
+				a.Production = p
+			case "cons":
+				a.Consumption = p
+			default:
+				return nil, fail("bad profile kind (want prod or cons)")
+			}
+			ps.Annotations[rank][index] = a
+		default:
+			return nil, fail("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("overlap: profiles read: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("overlap: profiles: empty input (no header)")
+	}
+	return ps, nil
+}

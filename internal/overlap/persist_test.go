@@ -1,0 +1,125 @@
+package overlap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/trace"
+)
+
+// persistSet builds a small profiled set by hand with both profile kinds.
+func persistSet(t *testing.T) *ProfiledSet {
+	t.Helper()
+	s := trace.NewSet("toy", "original", 2, 1000)
+	s.Traces[0].Append(
+		trace.Burst(1000),
+		trace.Send(1, 7, 4096),
+		trace.Burst(500),
+	)
+	s.Traces[1].Append(
+		trace.Burst(200),
+		trace.Recv(0, 7, 4096),
+		trace.Burst(1300),
+	)
+	return &ProfiledSet{
+		Original: s,
+		Chunks:   4,
+		Annotations: []map[int]Annotation{
+			{1: {Production: &Profile{Offsets: []int64{250, 500, 750, 1000}, Burst: 1000}}},
+			{1: {Consumption: &Profile{Offsets: []int64{0, 400, 800, 1300}, Burst: 1300}}},
+		},
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	ps := persistSet(t)
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfiles(bytes.NewReader(buf.Bytes()), ps.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chunks != ps.Chunks {
+		t.Fatalf("chunks = %d, want %d", got.Chunks, ps.Chunks)
+	}
+	// The decisive check: both sets transform to byte-identical overlapped
+	// traces, so a cache round trip cannot change any simulation result.
+	opts := Options{Mechanisms: BothMechanisms, Pattern: PatternReal}
+	want, err := Transform(ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := Transform(got, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf, haveBuf bytes.Buffer
+	if err := trace.Write(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(&haveBuf, have); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), haveBuf.Bytes()) {
+		t.Errorf("transform after round trip differs:\n%s\n---\n%s", wantBuf.String(), haveBuf.String())
+	}
+}
+
+func TestProfilesEncodingStable(t *testing.T) {
+	ps := persistSet(t)
+	var a, b bytes.Buffer
+	if err := WriteProfiles(&a, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfiles(&b, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("profile encoding is not deterministic")
+	}
+}
+
+func TestReadProfilesErrors(t *testing.T) {
+	orig := persistSet(t).Original
+	for _, tc := range []struct{ name, in string }{
+		{"empty", ""},
+		{"no header", "A 0 1 prod 1000 1 2"},
+		{"duplicate header", "P 4\nP 4"},
+		{"bad chunks", "P 0"},
+		{"rank out of range", "P 4\nA 9 1 prod 1000 1"},
+		{"index out of range", "P 4\nA 0 99 prod 1000 1"},
+		{"bad kind", "P 4\nA 0 1 sideways 1000 1"},
+		{"bad burst", "P 4\nA 0 1 prod x 1"},
+		{"bad offset", "P 4\nA 0 1 prod 1000 x"},
+		{"unknown record", "P 4\nZ 1"},
+		{"short annotation", "P 4\nA 0 1 prod"},
+	} {
+		if _, err := ReadProfiles(strings.NewReader(tc.in), orig); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := ReadProfiles(strings.NewReader("P 4"), nil); err == nil {
+		t.Error("nil original: expected error")
+	}
+}
+
+// TestProfilesCommentAndUnits ensures comments and blank lines are
+// tolerated, matching the trace codec's conventions.
+func TestProfilesTolerantInput(t *testing.T) {
+	orig := persistSet(t).Original
+	in := "# header comment\n\nP 4\n\n# annotation\nA 0 1 prod 1000 1 2 3 4\n"
+	ps, err := ReadProfiles(strings.NewReader(in), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := ps.Annotations[0][1]
+	if !ok || a.Production == nil || a.Production.Burst != 1000 {
+		t.Fatalf("annotation not decoded: %+v", ps.Annotations)
+	}
+	if got := a.Production.Offsets; len(got) != 4 || got[3] != 4 {
+		t.Fatalf("offsets = %v", got)
+	}
+}

@@ -1,0 +1,22 @@
+// Package replay reconstructs an application's time behaviour from its
+// traces on a configurable parallel platform — the role Dimemas plays in
+// the paper's environment, and the consumer end of the trace → variant →
+// replay pipeline: the tracer produces one original trace, the overlap
+// package derives potential (overlapped) variants from it, and this
+// package turns each variant into simulated time on a chosen machine.
+//
+// The simulator is a deterministic discrete-event replayer built on the
+// des engine. Every rank is a state machine walking its trace: computation
+// bursts occupy the CPU for instructions/MIPS, point-to-point records post
+// transfers into a network model with per-node input/output links and a
+// shared set of buses, and collectives synchronize all ranks and apply the
+// platform's cost formula. Messages at or below the eager threshold leave
+// the sender without synchronization; larger ones use a rendezvous that
+// couples the sender to the posted receive. The output is a per-rank state
+// timeline plus network statistics, ready for the visualization stage.
+//
+// Determinism matters beyond reproducibility: Simulate is a pure function
+// of (trace set, machine configuration), which is what lets the sweep
+// layer memoize replay results by (workload, variant, platform) and lets
+// sharded sweep campaigns promise byte-identical merged output.
+package replay

@@ -1,16 +1,3 @@
-// Package replay reconstructs an application's time behaviour from its
-// traces on a configurable parallel platform — the role Dimemas plays in
-// the paper's environment.
-//
-// The simulator is a deterministic discrete-event replayer. Every rank is a
-// state machine walking its trace: computation bursts occupy the CPU for
-// instructions/MIPS, point-to-point records post transfers into a network
-// model with per-node input/output links and a shared set of buses, and
-// collectives synchronize all ranks and apply the platform's cost formula.
-// Messages at or below the eager threshold leave the sender without
-// synchronization; larger ones use a rendezvous that couples the sender to
-// the posted receive. The output is a per-rank state timeline plus network
-// statistics, ready for the visualization stage.
 package replay
 
 import (

@@ -1,0 +1,52 @@
+// Package sweep is the parameter-sweep subsystem: it expands a declarative
+// grid of simulation configurations (application × ranks × bandwidth ×
+// chunk granularity × overlap mechanism × pattern) into independent jobs,
+// fans them out over a bounded worker pool, and merges the results in
+// stable point order. This is the methodology of the source paper at
+// scale: trace an application once, then replay it across many platform
+// configurations to map speedup and iso-performance curves.
+//
+// # Determinism contract
+//
+// Every job is a pure function of its grid point. Grid.Expand defines a
+// stable nested order (apps outermost, patterns innermost), jobs are
+// claimed in ascending point order, and results (and the first error) are
+// reported in point order — so the output of a sweep is byte-identical
+// regardless of the worker count, the shard split, or which caches were
+// warm. Everything below is an optimization that must not (and, by test,
+// does not) change a single output byte.
+//
+// # The work-avoidance layers
+//
+// A grid point costs, from most to least expensive: an instrumented
+// application run (tracing), two DES replays, and one trace
+// transformation. Three caching layers collapse the duplicates a grid
+// inevitably contains:
+//
+//   - Runner.Cache (*TraceCache) persists profiled trace sets on disk,
+//     keyed by (app, ranks, chunks, size, iters). It works across
+//     processes: repeated sweeps and sibling shards of one campaign skip
+//     the instrumented run entirely.
+//   - Runner's replay memo keys completed replays by (app, resolved
+//     ranks, trace variant, platform). The original trace's variant is
+//     independent of the mechanism/pattern/chunk axes, so sweeping those
+//     axes pays for the original replay once instead of once per point —
+//     roughly halving the replays of such grids.
+//   - VariantCache memoizes overlap.Transform per variant name within a
+//     traced workload.
+//
+// Runner.Stats reports counters (traces run, cache hits, replays run,
+// memo hits) so callers and tests can assert the avoided work.
+//
+// # Sharding and merging
+//
+// A Shard (k of N) deterministically owns a subset of point indices: the
+// assignment hashes only the index, so every process expanding the same
+// grid agrees on the split with no coordination. A sharded run writes a
+// ShardFile — results plus a sweep Signature and the total point count —
+// and Merge recombines shard files, verifying signature agreement and
+// exactly-once coverage, into the unsharded point order. Rendering merged
+// results through the table/CSV/JSON writers yields byte-identical output
+// to an unsharded run, which makes sweep campaigns splittable across
+// machines and CI jobs.
+package sweep

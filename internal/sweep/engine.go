@@ -1,16 +1,3 @@
-// Package sweep is the parallel parameter-sweep subsystem: it expands a
-// declarative grid of simulation configurations (application × ranks ×
-// bandwidth × chunk granularity × overlap mechanism × pattern) into
-// independent jobs, fans them out over a bounded worker pool, and merges
-// the results in stable point order.
-//
-// Determinism is the package's contract: every job is a pure function of
-// its grid point, jobs are claimed in ascending point order, and results
-// (and the first error) are reported in point order — so the output of a
-// sweep is bit-identical regardless of the worker count. This is the
-// methodology of the source paper at scale: trace an application once,
-// then replay it across many platform configurations to map speedup and
-// iso-performance curves.
 package sweep
 
 import (
@@ -25,6 +12,11 @@ import (
 type Engine struct {
 	// Workers bounds the pool; 0 or negative means runtime.NumCPU().
 	Workers int
+	// Progress, when non-nil, is called once per completed job with the
+	// completed count and the total. Calls are serialized and the completed
+	// count is strictly increasing, so a callback can print a running
+	// "done/total" without its own locking. It must not call back into Map.
+	Progress func(done, total int)
 }
 
 // WorkerCount returns the effective pool size.
@@ -67,6 +59,17 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	out := make([]T, n)
+	var progMu sync.Mutex
+	completed := 0
+	report := func() {
+		if e.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		completed++
+		e.Progress(completed, n)
+		progMu.Unlock()
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
@@ -74,6 +77,7 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 				return nil, &JobError{Index: i, Err: err}
 			}
 			out[i] = v
+			report()
 		}
 		return out, nil
 	}
@@ -104,6 +108,7 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i] = v
+				report()
 			}
 		}()
 	}

@@ -1,21 +1,25 @@
 package sweep
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"overlapsim/internal/apps"
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
 	"overlapsim/internal/tracer"
 	"overlapsim/internal/units"
 )
 
 // Runner executes grids: it traces every distinct (app, ranks, chunks)
 // workload exactly once — the single instrumented run of the paper's
-// methodology — caches the overlapped trace variants, and replays each grid
-// point on its platform. All methods are safe for concurrent use; the
-// engine's workers share the caches.
+// methodology — caches the overlapped trace variants, memoizes replay
+// results per (workload, variant, platform), and replays each grid point
+// on its platform. All methods are safe for concurrent use; the engine's
+// workers share the caches.
 type Runner struct {
 	// Base is the platform every point starts from; a point's Bandwidth
 	// (when non-negative) overrides the base network bandwidth.
@@ -25,9 +29,46 @@ type Runner struct {
 	Iters int
 	// Engine is the worker pool configuration.
 	Engine Engine
+	// Cache, when non-nil, persists profiled trace sets on disk so that
+	// repeated sweeps and sibling shards (other processes) skip the
+	// instrumented run entirely. Cache reads that fail (corruption) abort
+	// the sweep; cache writes are best-effort — a read-only or full cache
+	// directory must not discard a trace that just succeeded. The first
+	// failed write is reported by CacheStoreErr.
+	Cache *TraceCache
 
-	mu    sync.Mutex
-	pipes map[pipeKey]*pipeline
+	mu       sync.Mutex
+	pipes    map[pipeKey]*pipeline
+	memos    map[memoKey]*memoEntry
+	storeErr error
+
+	ctTraces    atomic.Int64
+	ctTraceHits atomic.Int64
+	ctReplays   atomic.Int64
+	ctMemoHits  atomic.Int64
+}
+
+// Counters is a snapshot of the runner's work and cache-hit accounting —
+// the observable evidence that the caching layers actually cut work.
+type Counters struct {
+	// Traces counts instrumented application runs executed by this runner.
+	Traces int64
+	// TraceCacheHits counts workloads served from the persistent cache.
+	TraceCacheHits int64
+	// Replays counts DES replays actually simulated.
+	Replays int64
+	// ReplayMemoHits counts replays answered from the in-memory memo.
+	ReplayMemoHits int64
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Counters {
+	return Counters{
+		Traces:         r.ctTraces.Load(),
+		TraceCacheHits: r.ctTraceHits.Load(),
+		Replays:        r.ctReplays.Load(),
+		ReplayMemoHits: r.ctMemoHits.Load(),
+	}
 }
 
 type pipeKey struct {
@@ -66,18 +107,114 @@ func (r *Runner) pipelineFor(key pipeKey) *pipeline {
 	return p
 }
 
-// profiled traces the workload on first use and returns the cached set.
+// profiled returns the workload's profiled set, tracing on first use. With
+// a persistent cache configured the instrumented run is skipped when a
+// sibling process (an earlier sweep, another shard) already traced the
+// workload; a fresh trace is stored for them in turn.
 func (r *Runner) profiled(key pipeKey) (*overlap.ProfiledSet, error) {
 	p := r.pipelineFor(key)
 	p.once.Do(func() {
+		var cacheKey string
+		if r.Cache != nil {
+			cacheKey = r.Cache.Key(key.app, key.ranks, key.chunks, r.Size, r.Iters)
+			ps, err := r.Cache.Load(cacheKey)
+			if err != nil {
+				p.err = err
+				return
+			}
+			if ps != nil {
+				r.ctTraceHits.Add(1)
+				p.ps = ps
+				return
+			}
+		}
 		app, err := apps.New(key.app, apps.Config{Ranks: key.ranks, Size: r.Size, Iterations: r.Iters})
 		if err != nil {
 			p.err = err
 			return
 		}
+		r.ctTraces.Add(1)
 		p.ps, p.err = tracer.Trace(app, tracer.Options{Chunks: key.chunks})
+		if p.err == nil && r.Cache != nil {
+			if err := r.Cache.Store(cacheKey, p.ps); err != nil {
+				r.mu.Lock()
+				if r.storeErr == nil {
+					r.storeErr = err
+				}
+				r.mu.Unlock()
+			}
+		}
 	})
 	return p.ps, p.err
+}
+
+// CacheStoreErr returns the first cache-write failure of the run, if any.
+// Store failures do not fail the sweep (the results are still correct and
+// complete); callers can surface them as a warning that the next run will
+// re-trace.
+func (r *Runner) CacheStoreErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storeErr
+}
+
+// memoKey identifies one replay semantically: the traced workload (its
+// name and resolved rank count; problem scale is fixed per runner), the
+// trace variant, and the full platform. The variant name embeds pattern,
+// mechanisms and chunk count for overlapped traces and is "original" for
+// the untransformed one — which is identical across the chunk axis, so
+// chunk sweeps share a single original replay.
+type memoKey struct {
+	app      string
+	ranks    int
+	variant  string
+	platform machine.Config
+}
+
+// memoEntry is a single-flight slot: the first requester simulates, later
+// and concurrent requesters wait for (and share) the result.
+type memoEntry struct {
+	once    sync.Once
+	total   units.Time
+	steps   int64
+	blocked float64
+	err     error
+}
+
+// replayMemo memoizes replay.Simulate per (workload, variant, platform).
+// A sweep grid replays the same trace on the same platform once per other
+// axis value — e.g. every mechanism point re-replays the original trace —
+// and the memo collapses those duplicates.
+func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error) {
+	key := memoKey{app: ts.Name, ranks: ts.NRanks(), variant: ts.Variant, platform: m}
+	// The platform name is presentation (it is rewritten by WithBandwidth);
+	// drop it so label differences cannot split otherwise equal platforms.
+	key.platform.Name = ""
+	r.mu.Lock()
+	if r.memos == nil {
+		r.memos = map[memoKey]*memoEntry{}
+	}
+	e, hit := r.memos[key]
+	if !hit {
+		e = &memoEntry{}
+		r.memos[key] = e
+	}
+	r.mu.Unlock()
+	if hit {
+		r.ctMemoHits.Add(1)
+	}
+	e.once.Do(func() {
+		r.ctReplays.Add(1)
+		res, err := replay.Simulate(ts, m)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.total = res.Total
+		e.steps = res.Steps
+		e.blocked = res.MeanBlockedFraction()
+	})
+	return e, e.err
 }
 
 // machineFor applies the point's platform overrides to the base config. A
@@ -106,7 +243,7 @@ func (r *Runner) RunPoint(p Point) (Result, error) {
 		return Result{}, err
 	}
 	m := r.machineFor(p)
-	orig, err := replay.Simulate(ps.Original, m)
+	orig, err := r.replayMemo(ps.Original, m)
 	if err != nil {
 		return Result{}, err
 	}
@@ -114,21 +251,21 @@ func (r *Runner) RunPoint(p Point) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	over, err := replay.Simulate(ts, m)
+	over, err := r.replayMemo(ts, m)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{
 		Point:     p,
 		Bandwidth: m.Bandwidth,
-		TOriginal: orig.Total,
-		TOverlap:  over.Total,
+		TOriginal: orig.total,
+		TOverlap:  over.total,
 		Speedup:   1,
-		Blocked:   orig.MeanBlockedFraction(),
-		Steps:     orig.Steps + over.Steps,
+		Blocked:   orig.blocked,
+		Steps:     orig.steps + over.steps,
 	}
-	if over.Total > 0 {
-		res.Speedup = float64(orig.Total) / float64(over.Total)
+	if over.total > 0 {
+		res.Speedup = float64(orig.total) / float64(over.total)
 	}
 	return res, nil
 }
@@ -143,6 +280,25 @@ func (r *Runner) Run(g Grid) ([]Result, error) {
 	pts := g.Expand()
 	return Map(r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
+	})
+}
+
+// RunIndices simulates only the given expanded-point indices of the grid —
+// the shard execution path. results[j] is the outcome of point indices[j];
+// ordering and error reporting follow the indices slice the same way Run
+// follows the full expansion.
+func (r *Runner) RunIndices(g Grid, indices []int) ([]Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pts := g.Expand()
+	for _, i := range indices {
+		if i < 0 || i >= len(pts) {
+			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d)", i, len(pts))
+		}
+	}
+	return Map(r.Engine, len(indices), func(j int) (Result, error) {
+		return r.RunPoint(pts[indices[j]])
 	})
 }
 

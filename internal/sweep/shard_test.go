@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/units"
+)
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+	}{
+		{"1/1", Shard{1, 1}},
+		{"1/2", Shard{1, 2}},
+		{"2/2", Shard{2, 2}},
+		{"3/16", Shard{3, 16}},
+	} {
+		got, err := ParseShard(tc.in)
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "1", "0/2", "3/2", "-1/2", "1/0", "a/b", "1/2/3x"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q): expected error", bad)
+		}
+	}
+}
+
+func TestShardPartitionCoversExactlyOnce(t *testing.T) {
+	const total = 97
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		owners := make([]int, total)
+		for k := 1; k <= n; k++ {
+			for _, i := range (Shard{K: k, N: n}).Indices(total) {
+				owners[i]++
+			}
+		}
+		for i, c := range owners {
+			if c != 1 {
+				t.Fatalf("n=%d: point %d owned by %d shards", n, i, c)
+			}
+		}
+	}
+}
+
+// TestShardAssignmentGolden pins the hash-based shard assignment: a change
+// here means every mid-campaign shard split in the wild would recombine
+// incorrectly, so the assignment must only change with a ShardFileVersion
+// bump.
+func TestShardAssignmentGolden(t *testing.T) {
+	golden := map[int][]int{
+		2: {1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},
+		3: {1, 0, 0, 2, 0, 2, 2, 1, 2, 1, 1, 0},
+		4: {1, 0, 3, 2, 1, 0, 3, 2, 1, 0, 3, 2},
+	}
+	for n, want := range golden {
+		for i, w := range want {
+			if got := shardOf(i, n); got != w {
+				t.Errorf("shardOf(%d, %d) = %d, want %d", i, n, got, w)
+			}
+		}
+	}
+}
+
+func TestUnshardedZeroValue(t *testing.T) {
+	var s Shard
+	if !s.IsZero() {
+		t.Fatal("zero Shard should be unsharded")
+	}
+	if got := s.Indices(5); len(got) != 5 {
+		t.Fatalf("unsharded Indices(5) = %v", got)
+	}
+	if s.String() != "all" {
+		t.Fatalf("zero Shard String = %q", s.String())
+	}
+}
+
+func testResults() ([]int, []Result) {
+	mk := func(app string, bw float64, mech overlap.Mechanism) Result {
+		return Result{
+			Point: Point{App: app, Ranks: 4, Bandwidth: units.Bandwidth(bw), Chunks: 8,
+				Mechanisms: mech, Pattern: overlap.PatternLinear},
+			Bandwidth: units.Bandwidth(bw),
+			TOriginal: 1234567, TOverlap: 1000001,
+			Speedup: 1.2345678901234567, Blocked: 0.25, Steps: 9876,
+		}
+	}
+	return []int{0, 2}, []Result{
+		mk("pingpong", 268435456, overlap.BothMechanisms),
+		mk("pingpong", -1, overlap.EarlySend),
+	}
+}
+
+func TestShardFileRoundTrip(t *testing.T) {
+	indices, results := testResults()
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, "cafe0123", 3, Shard{1, 2}, indices, results); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Signature != "cafe0123" || sf.Total != 3 || sf.Shard != "1/2" {
+		t.Fatalf("bad header: %+v", sf)
+	}
+	other := &ShardFile{Version: ShardFileVersion, Signature: "cafe0123", Total: 3,
+		Shard: "2/2", Points: []shardPoint{{Index: 1, App: "pingpong", Speedup: 1}}}
+	merged, err := Merge([]*ShardFile{sf, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged %d results, want 3", len(merged))
+	}
+	// Full fidelity: the results owned by the round-tripped shard come back
+	// exactly, including floats and enum bits.
+	if merged[0] != results[0] || merged[2] != results[1] {
+		t.Fatalf("round trip lost fidelity:\n got %+v and %+v\nwant %+v and %+v",
+			merged[0], merged[2], results[0], results[1])
+	}
+}
+
+func TestWriteShardLengthMismatch(t *testing.T) {
+	_, results := testResults()
+	if err := WriteShard(&bytes.Buffer{}, "x", 3, Shard{1, 2}, []int{0}, results); err == nil {
+		t.Fatal("expected error for mismatched indices/results")
+	}
+}
+
+func TestReadShardErrors(t *testing.T) {
+	if _, err := ReadShard(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: expected error")
+	}
+	if _, err := ReadShard(strings.NewReader(`{"format_version": 99, "total_points": 1}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: got %v", err)
+	}
+	if _, err := ReadShard(strings.NewReader(`{"format_version": 1, "total_points": 1, "points": [{"index": 5}]}`)); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad index: got %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	mk := func(sig string, total int, idxs ...int) *ShardFile {
+		sf := &ShardFile{Version: ShardFileVersion, Signature: sig, Total: total}
+		for _, i := range idxs {
+			sf.Points = append(sf.Points, shardPoint{Index: i})
+		}
+		return sf
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("zero shards: expected error")
+	}
+	if _, err := Merge([]*ShardFile{mk("a", 2, 0), mk("b", 2, 1)}); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Errorf("signature mismatch: got %v", err)
+	}
+	if _, err := Merge([]*ShardFile{mk("a", 2, 0), mk("a", 3, 1)}); err == nil || !strings.Contains(err.Error(), "total") {
+		t.Errorf("total mismatch: got %v", err)
+	}
+	if _, err := Merge([]*ShardFile{mk("a", 2, 0), mk("a", 2, 0)}); err == nil || !strings.Contains(err.Error(), "more than one") {
+		t.Errorf("duplicate point: got %v", err)
+	}
+	if _, err := Merge([]*ShardFile{mk("a", 3, 0, 2)}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing point: got %v", err)
+	}
+}
+
+func TestSignatureSensitivity(t *testing.T) {
+	base := machine.Default()
+	g := Grid{Apps: []string{"pingpong"}, Chunks: []int{4, 8}}
+	sig := Signature(g, base, 256, 1)
+	if sig == "" || len(sig) != 16 {
+		t.Fatalf("bad signature %q", sig)
+	}
+	if Signature(g, base, 256, 1) != sig {
+		t.Error("signature not deterministic")
+	}
+	if Signature(g, base, 512, 1) == sig {
+		t.Error("size change should change the signature")
+	}
+	if Signature(g, base.WithBandwidth(units.Bandwidth(1)), 256, 1) == sig {
+		t.Error("platform change should change the signature")
+	}
+	g2 := Grid{Apps: []string{"pingpong"}, Chunks: []int{8, 4}}
+	if Signature(g2, base, 256, 1) == sig {
+		t.Error("point-order change should change the signature")
+	}
+}

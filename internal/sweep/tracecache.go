@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/trace"
+)
+
+// TraceCache persists profiled trace sets — the output of the instrumented
+// run, the expensive stage of the pipeline — in a directory so that
+// repeated sweeps, sibling shards and separate processes skip tracing
+// entirely. An entry is two files, <key>.trace (the original trace, in the
+// trace codec) and <key>.profile (the production/consumption annotations);
+// both are written atomically, so a concurrently warming cache never
+// exposes a torn entry — at worst a reader sees a miss and re-traces.
+type TraceCache struct {
+	// Dir is the cache directory; it is created on first Store.
+	Dir string
+}
+
+// traceKeyVersion is bumped whenever the trace or profile encodings (or the
+// tracer's semantics) change incompatibly, so stale caches miss instead of
+// corrupting results.
+const traceKeyVersion = "t1"
+
+// Key returns the cache key of one instrumented run. Every parameter that
+// shapes the traced workload is part of the key: the application, its rank
+// count (0 = app default, itself stable), the profiling granularity and the
+// problem scale. Keys are stable across processes and releases of the same
+// format version; tests pin golden values.
+func (c *TraceCache) Key(app string, ranks, chunks, size, iters int) string {
+	return fmt.Sprintf("%s-%s-r%d-c%d-s%d-i%d", traceKeyVersion, sanitizeKey(app), ranks, chunks, size, iters)
+}
+
+// sanitizeKey keeps keys safe as file names: anything outside
+// [a-zA-Z0-9._-] becomes '_'.
+func sanitizeKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func (c *TraceCache) tracePath(key string) string   { return filepath.Join(c.Dir, key+".trace") }
+func (c *TraceCache) profilePath(key string) string { return filepath.Join(c.Dir, key+".profile") }
+
+// isMissing classifies errors that mean "no cache entry here" — the file,
+// the cache directory, or a directory component does not exist — as
+// opposed to a present-but-unreadable entry.
+func isMissing(err error) bool {
+	return errors.Is(err, fs.ErrNotExist) || errors.Is(err, syscall.ENOTDIR)
+}
+
+// Load returns the cached profiled set for the key, or (nil, nil) when the
+// entry does not exist — a missing file or cache directory (including a
+// torn entry with only one of its two files). A present but undecodable
+// entry is an error: silently re-tracing would hide cache corruption or a
+// mixed-version directory.
+func (c *TraceCache) Load(key string) (*overlap.ProfiledSet, error) {
+	ts, err := trace.ReadFile(c.tracePath(key))
+	if isMissing(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	pf, err := os.Open(c.profilePath(key))
+	if isMissing(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	ps, err := overlap.ReadProfiles(pf, ts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cache entry %s: %w", key, err)
+	}
+	return ps, nil
+}
+
+// Store writes the profiled set under the key, creating the cache
+// directory if needed. The profile file lands before the trace file, so
+// any reader that sees the trace also sees the profiles.
+func (c *TraceCache) Store(key string, ps *overlap.ProfiledSet) error {
+	if err := os.MkdirAll(c.Dir, 0o777); err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	if err := trace.WriteFileAtomic(c.profilePath(key), func(w io.Writer) error {
+		return overlap.WriteProfiles(w, ps)
+	}); err != nil {
+		return fmt.Errorf("sweep: cache entry %s: %w", key, err)
+	}
+	if err := trace.WriteFile(c.tracePath(key), ps.Original); err != nil {
+		return fmt.Errorf("sweep: cache entry %s: %w", key, err)
+	}
+	return nil
+}

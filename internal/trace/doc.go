@@ -1,0 +1,26 @@
+// Package trace defines the Dimemas-like trace format that connects the
+// tracing tool to the replay simulator — the interchange at the center of
+// the trace → variant → replay pipeline.
+//
+// A trace is a per-rank sequence of records of two fundamental kinds, just
+// as in the paper (section II-B): computation records carrying the length
+// of a computation burst in instructions, and communication records
+// carrying message parameters. Overlapped (potential) traces additionally
+// use non-blocking records (ISend/IRecv/Wait) so that partial transfers
+// can be injected at the points where data is produced or first needed.
+// Timestamps are instruction counts scaled by a MIPS rate at replay time,
+// the paper's deliberate abstraction from cache and MPI-overhead effects.
+//
+// A Set is the complete multi-rank trace the replayer consumes, tagged
+// with the application name and a variant label ("original" for the
+// untransformed execution, "overlap-<pattern>-<mechanisms>-c<chunks>" for
+// transformed ones — the same labels the sweep layer uses as cache keys).
+//
+// The package also owns the textual codec (Write/Read and the atomic
+// WriteFile/ReadFile): a line-oriented, diffable format that makes traces
+// portable across processes. The sweep layer's persistent trace cache and
+// the tracegen/dimemas command-line round trip are built on it. Producers
+// should build traces through Trace.Append, which canonicalizes by merging
+// adjacent computation bursts and dropping empty ones, so that equal
+// executions encode to byte-equal files.
+package trace

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile encodes the set to path in the text format. The write is
+// atomic — encode to a temporary file in the same directory, then rename —
+// so concurrent writers (sibling sweep shards warming one cache directory)
+// can never expose a torn file to readers.
+func WriteFile(path string, s *Set) error {
+	if err := WriteFileAtomic(path, func(w io.Writer) error { return Write(w, s) }); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic runs the encoder against a temporary file in path's
+// directory and renames it into place, so readers see either the old
+// content or the complete new content, never a torn write. It is the
+// atomicity primitive behind WriteFile, shared with the sweep layer's
+// cache files.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile decodes a set from a file written by WriteFile (or Write).
+func ReadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReadFileRoundTrip(t *testing.T) {
+	s := NewSet("toy app", "original", 2, 1000)
+	s.Traces[0].Append(Burst(100), Send(1, 3, 4096), Burst(50))
+	s.Traces[1].Append(Burst(20), Recv(0, 3, 4096), Marker("phase one"))
+
+	path := filepath.Join(t.TempDir(), "toy.trace")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, have bytes.Buffer
+	if err := Write(&want, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Errorf("round trip differs:\n%s\n---\n%s", want.String(), have.String())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	// After WriteFile no temp files remain beside the target, so a reader
+	// scanning the directory (the sweep trace cache) sees only complete
+	// entries.
+	dir := t.TempDir()
+	s := NewSet("toy", "original", 1, 1000)
+	s.Traces[0].Append(Burst(1))
+	if err := WriteFile(filepath.Join(dir, "a.trace"), s); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "a.trace" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after WriteFile: %v", names)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.trace"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist error, got %v", err)
+	}
+}

@@ -1,12 +1,3 @@
-// Package trace defines the Dimemas-like trace format that connects the
-// tracing tool to the replay simulator.
-//
-// A trace is a per-rank sequence of records of two fundamental kinds, just
-// as in the paper (section II-B): computation records carrying the length
-// of a computation burst in instructions, and communication records
-// carrying message parameters. Overlapped (potential) traces additionally
-// use non-blocking records (ISend/IRecv/Wait) so that partial transfers can
-// be injected at the points where data is produced or first needed.
 package trace
 
 import (

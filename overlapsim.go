@@ -85,6 +85,14 @@ type (
 	SweepEngine = sweep.Engine
 	// SweepRunner executes grids with shared trace caches.
 	SweepRunner = sweep.Runner
+	// SweepShard selects a deterministic k-of-N subset of a grid, so one
+	// sweep can be split across machines and recombined with MergeShards.
+	SweepShard = sweep.Shard
+	// SweepShardFile is the mergeable envelope a sharded sweep writes.
+	SweepShardFile = sweep.ShardFile
+	// TraceCache persists profiled trace sets across processes so repeated
+	// sweeps and sibling shards skip the instrumented runs.
+	TraceCache = sweep.TraceCache
 )
 
 // Re-exported unit types.
@@ -150,6 +158,13 @@ func NewSuite() *Suite { return experiment.NewSuite() }
 // NewSweepRunner returns a sweep runner on the given platform. Configure
 // its Engine field to bound the worker pool (zero means one per CPU).
 func NewSweepRunner(m Machine) *SweepRunner { return sweep.NewRunner(m) }
+
+// ParseSweepShard parses the "k/N" shard syntax (e.g. "1/2").
+func ParseSweepShard(s string) (SweepShard, error) { return sweep.ParseShard(s) }
+
+// MergeShards recombines sharded sweep outputs into unsharded point order,
+// verifying that the shards belong to one sweep and cover it exactly once.
+func MergeShards(shards []*SweepShardFile) ([]SweepResult, error) { return sweep.Merge(shards) }
 
 // WriteSweepResults encodes sweep results in the named format: "table",
 // "csv" or "json".
