@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke lint fmt
+# Campaign knobs (see the campaign target).
+N ?= 4
+OUT ?= campaign.csv
+FORMAT ?= csv
+CACHE ?= trace-cache
+ARGS ?= -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
+
+.PHONY: all build test race bench bench-smoke bench-json campaign lint fmt
 
 all: build test
 
@@ -23,6 +30,25 @@ bench:
 # One iteration of every benchmark: proves they still compile and run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable perf record: runs the hot-path benchmarks with -benchmem
+# and converts the output to BENCH_PR3.json (current numbers plus the
+# committed PR 2 baseline). CI archives the file as an artifact, so the
+# repo accumulates a performance trajectory.
+# The bench output goes through a temp file, not a pipe, so a benchmark
+# failure fails the target instead of archiving a silently truncated record.
+bench-json:
+	$(GO) test -run '^$$' -benchtime 100x -benchmem \
+		-bench 'BenchmarkEngine$$|BenchmarkEngineTyped$$|BenchmarkSimulatePipeline$$|BenchmarkReplayerReuse$$|BenchmarkReplayBT$$' \
+		./internal/des ./internal/replay . > BENCH_PR3.txt
+	$(GO) run ./cmd/benchjson -baseline docs/bench-baseline.json -o BENCH_PR3.json < BENCH_PR3.txt
+	@echo wrote BENCH_PR3.json
+
+# One-command local scale-out: N parallel shard processes sharing a trace
+# cache, merged byte-identically. Override the knobs above, e.g.:
+#   make campaign N=8 OUT=grid.csv ARGS="-apps bt,cg -bws 64MB/s,1GB/s"
+campaign:
+	N=$(N) OUT=$(OUT) FORMAT=$(FORMAT) CACHE=$(CACHE) GO=$(GO) ./scripts/campaign.sh $(ARGS)
 
 lint:
 	$(GO) vet ./...

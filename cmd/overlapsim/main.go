@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"overlapsim"
 	"overlapsim/internal/apps"
@@ -290,8 +293,15 @@ func runSweep(args []string, stdout io.Writer) error {
 			shard, len(indices), total, runner.Engine.WorkerCount())
 	}
 
-	results, err := runner.RunIndices(grid, indices)
+	// An interrupt (Ctrl-C) or SIGTERM cancels the sweep: claimed points
+	// finish, no new ones start, and no partial output file is written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := runner.RunIndicesContext(ctx, grid, indices)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		return err
 	}
 	if err := runner.CacheStoreErr(); err != nil {

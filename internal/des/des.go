@@ -6,24 +6,51 @@ import (
 	"overlapsim/internal/units"
 )
 
-// Event is a callback scheduled to run at a simulated instant.
+// Kind discriminates the typed events a Target can receive. The engine
+// never interprets kinds; they are an opaque tag the target's HandleEvent
+// switches on. Packages define their own kind spaces (per target type).
+type Kind uint8
+
+// Target receives typed events. Implementations are usually small state
+// machines (a rank, a transfer): scheduling a typed event copies only a
+// (target, kind) pair into the queue, so the hot path performs no heap
+// allocation — unlike a closure, which allocates per capture.
+type Target interface {
+	HandleEvent(k Kind)
+}
+
+// Event is a callback scheduled to run at a simulated instant. It is the
+// legacy closure form of scheduling, kept as a thin adapter over the typed
+// model: an Event is itself a Target that ignores the kind and calls the
+// function. Closures allocate per capture; hot paths should implement
+// Target instead.
 type Event func()
+
+// HandleEvent makes Event a Target, dispatching to the function itself.
+func (f Event) HandleEvent(Kind) { f() }
 
 // scheduled is one pending event. Entries are stored by value inside the
 // engine's heap slice: no per-event node allocation, no heap-index
-// bookkeeping, and pushes amortize to plain appends.
+// bookkeeping, and pushes amortize to plain appends. The insertion
+// sequence and the event kind share one word (seq<<8 | kind) to keep the
+// entry at 32 bytes — heap sifts copy entries, so entry size is ns/op.
 type scheduled struct {
-	at  units.Time
-	seq int64 // insertion order; breaks ties deterministically
-	fn  Event
+	at      units.Time
+	seqKind int64 // insertion order in bits 8.., event kind in bits 0..7
+	target  Target
 }
 
+// kind extracts the event kind from the packed word.
+func (s scheduled) kind() Kind { return Kind(s.seqKind) }
+
 // before is the queue ordering: time first, insertion sequence second.
+// Comparing the packed words directly is correct: the sequence occupies
+// the high bits and is unique, so the kind byte never decides.
 func (s scheduled) before(o scheduled) bool {
 	if s.at != o.at {
 		return s.at < o.at
 	}
-	return s.seq < o.seq
+	return s.seqKind < o.seqKind
 }
 
 // eventQueue is a 4-ary min-heap of scheduled entries. A wider node halves
@@ -78,7 +105,7 @@ func (q *eventQueue) push(s scheduled) {
 }
 
 // pop removes and returns the earliest entry. The vacated tail slot is
-// zeroed so the engine does not retain the event closure.
+// zeroed so the engine does not retain the event target.
 func (q *eventQueue) pop() scheduled {
 	old := *q
 	n := len(old) - 1
@@ -110,6 +137,19 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events, step counter cleared — while keeping the queue's backing array,
+// so a reused engine schedules with zero steady-state allocation. The step
+// limit is preserved.
+func (e *Engine) Reset() {
+	clear(e.queue) // drop target references so the kept array retains nothing
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.stopped = false
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
 
@@ -120,18 +160,38 @@ func (e *Engine) Steps() int64 { return e.steps }
 // bound. It protects tests against runaway schedules.
 func (e *Engine) SetStepLimit(n int64) { e.maxStep = n }
 
-// Schedule runs fn at the given absolute instant. Scheduling in the past
-// (before Now) panics: it would silently corrupt causality, which is always
-// a programming error in the replayer.
-func (e *Engine) Schedule(at units.Time, fn Event) {
+// ScheduleEvent delivers the typed event (target, kind) at the given
+// absolute instant. Scheduling in the past (before Now) panics: it would
+// silently corrupt causality, which is always a programming error in the
+// replayer.
+func (e *Engine) ScheduleEvent(at units.Time, t Target, k Kind) {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before current time %v", at, e.now))
 	}
-	if fn == nil {
+	if t == nil {
 		panic("des: scheduling nil event")
 	}
 	e.seq++
-	e.queue.push(scheduled{at: at, seq: e.seq, fn: fn})
+	e.queue.push(scheduled{at: at, seqKind: e.seq<<8 | int64(k), target: t})
+}
+
+// ScheduleEventAfter delivers the typed event (target, kind) after delay d
+// from the current time. Negative delays are clamped to zero.
+func (e *Engine) ScheduleEventAfter(d units.Duration, t Target, k Kind) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleEvent(e.now.Add(d), t, k)
+}
+
+// Schedule runs fn at the given absolute instant. This is the legacy
+// closure adapter over ScheduleEvent; the closure itself is the allocation,
+// so hot paths should schedule typed events instead.
+func (e *Engine) Schedule(at units.Time, fn Event) {
+	if fn == nil {
+		panic("des: scheduling nil event")
+	}
+	e.ScheduleEvent(at, fn, 0)
 }
 
 // ScheduleAfter runs fn after delay d from the current time. Negative
@@ -161,7 +221,7 @@ func (e *Engine) Run() error {
 		if e.maxStep > 0 && e.steps > e.maxStep {
 			return fmt.Errorf("des: step limit %d exceeded at t=%v (livelock in simulated model?)", e.maxStep, e.now)
 		}
-		s.fn()
+		s.target.HandleEvent(s.kind())
 	}
 	return nil
 }

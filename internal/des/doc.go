@@ -9,8 +9,27 @@
 // to be treated as a pure function and the sweep layer to memoize replays
 // and merge sharded runs byte-identically.
 //
+// # Typed events
+//
+// The scheduling hot path is allocation-free end to end. An event is a
+// value-typed (Target, Kind) pair: the Target is the simulated object the
+// event belongs to (a rank state machine, an in-flight transfer) and the
+// Kind is an opaque tag its HandleEvent method switches on. Scheduling via
+// ScheduleEvent/ScheduleEventAfter copies that pair into the event queue —
+// a 4-ary min-heap of inline 32-byte values (the insertion sequence and
+// the kind share one packed word), with no per-event heap allocation and
+// no heap-index bookkeeping, because queue churn dominates replay hot
+// loops. The legacy closure form (Schedule/ScheduleAfter with a func) is
+// kept as a thin adapter — Event itself implements Target — for tests,
+// examples and call sites where a per-schedule closure allocation does not
+// matter.
+//
+// Engines are reusable: Reset rewinds the clock and step counter while
+// keeping the queue's backing array, so a replayer that runs many traces
+// (every sweep point) schedules with zero steady-state allocation. The
+// TestTypedEventSteadyStateAllocs guard pins that budget at exactly zero
+// allocations per schedule/dispatch cycle on a warm engine.
+//
 // The replayer builds rank state machines and network resource schedulers
-// (see Resource) on top of the engine. The event queue is a 4-ary min-heap
-// of inline values — no per-event allocation, no heap-index bookkeeping —
-// because queue churn dominates replay hot loops.
+// (see Resource) on top of the engine.
 package des

@@ -1,0 +1,119 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"overlapsim/internal/trace"
+)
+
+// mixedSet exercises every hot-path object class: bursts, eager and
+// rendezvous point-to-point (blocking and request-based), collectives and
+// markers — so the allocation guard below covers all free lists at once.
+func mixedSet() *trace.Set {
+	const n = 4
+	ts := trace.NewSet("mixed", "original", n, 1000)
+	for r := 0; r < n; r++ {
+		tr := &ts.Traces[r]
+		tr.Append(trace.Marker("setup"))
+		next, prev := (r+1)%n, (r+n-1)%n
+		for iter := 0; iter < 3; iter++ {
+			req := 100 + iter
+			tr.Append(
+				trace.IRecv(prev, iter, 2000, req),
+				trace.Burst(3000),
+				trace.Send(next, iter, 2000),
+				trace.Wait(req),
+				trace.Global(trace.Allreduce, 64, 0),
+			)
+		}
+	}
+	return ts
+}
+
+// TestReplayerReuseMatchesFreshSimulate pins the reuse contract: a single
+// Replayer run repeatedly — including across different trace shapes, and
+// after an errored run — must produce results identical to a cold Simulate.
+func TestReplayerReuseMatchesFreshSimulate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buses = 1 // force resource queueing through the pending path
+	sets := []*trace.Set{mixedSet(), pipelineSet(), mixedSet()}
+	r := NewReplayer()
+	for round := 0; round < 3; round++ {
+		for _, ts := range sets {
+			want, err := NewReplayer().Simulate(ts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Simulate(ts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Total != want.Total || got.Steps != want.Steps || got.Network != want.Network {
+				t.Fatalf("round %d %s: reused replayer diverged: %+v vs %+v",
+					round, ts.Name, got, want)
+			}
+			if !reflect.DeepEqual(got.Timelines, want.Timelines) {
+				t.Fatalf("round %d %s: reused replayer timelines diverged", round, ts.Name)
+			}
+		}
+		// An aborted run (deadlock) must not poison the replayer's state.
+		bad := trace.NewSet("dead", "original", 2, 1000)
+		bad.Traces[0].Append(trace.Send(1, 0, 64000), trace.Recv(1, 1, 64000))
+		bad.Traces[1].Append(trace.Send(0, 1, 64000), trace.Recv(0, 0, 64000))
+		deadCfg := cfg
+		deadCfg.EagerThreshold = 0
+		if _, err := r.Simulate(bad, deadCfg); err == nil {
+			t.Fatal("expected deadlock error")
+		}
+	}
+}
+
+// TestReplaySteadyStateAllocs is the tentpole's guard: once a Replayer is
+// warm, a full Simulate run must only allocate the result objects it hands
+// back — the Result, its two slices, the timeline set, and one snapshot
+// slice per rank with intervals (plus events when markers exist). For the
+// 4-rank mixed workload that is at most 4 + 2*4 = 12 allocations; the event
+// loop itself (scheduling, transfers, collectives, matching) contributes
+// zero. A rise here means per-event allocation crept back into the replay
+// hot path.
+func TestReplaySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budget is pinned by the non-race run")
+	}
+	ts := mixedSet()
+	cfg := testConfig()
+	r := NewReplayer()
+	for i := 0; i < 3; i++ { // warm free lists, queues, builders
+		if _, err := r.Simulate(ts, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Simulate(ts, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("warm Simulate allocates %.1f/run, budget %d", allocs, budget)
+	}
+}
+
+// BenchmarkReplayerReuse measures the steady-state replay hot path without
+// the pooled wrapper: the number every sweep point pays after warm-up.
+func BenchmarkReplayerReuse(b *testing.B) {
+	ts := mixedSet()
+	cfg := testConfig()
+	r := NewReplayer()
+	if _, err := r.Simulate(ts, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Simulate(ts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

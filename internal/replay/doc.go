@@ -15,8 +15,33 @@
 // couples the sender to the posted receive. The output is a per-rank state
 // timeline plus network statistics, ready for the visualization stage.
 //
+// # Allocation-free hot path
+//
+// Replay throughput bounds sweep scale — every grid point, shard and
+// memoized-miss replays — so the event loop performs no steady-state heap
+// allocation. Ranks and transfers implement des.Target and are driven by
+// typed events (advance, wire-done, deliver) instead of closures, and all
+// per-run scratch is owned and recycled by a Replayer: the DES engine and
+// its queue, rank state machines with their request tables and timeline
+// builders, per-channel FIFO queues, collective slots, and a transfer free
+// list. A transfer returns to the free list once it is delivered, matched
+// on both sides and unreferenced by any request table (the trace validator
+// guarantees each request is waited at most once, which is what makes the
+// reference count exact).
+//
+// A warm Replayer therefore allocates only the result objects a Simulate
+// call hands back: the Result, its rank and timeline slices, and one
+// snapshot slice per rank. TestReplaySteadyStateAllocs pins that budget
+// (12 allocations for the 4-rank guard workload); the package-level
+// Simulate draws replayers from an internal pool so every caller — the
+// sweep runner's workers included — reuses warm scratch automatically.
+//
 // Determinism matters beyond reproducibility: Simulate is a pure function
 // of (trace set, machine configuration), which is what lets the sweep
 // layer memoize replay results by (workload, variant, platform) and lets
-// sharded sweep campaigns promise byte-identical merged output.
+// sharded sweep campaigns promise byte-identical merged output. The
+// recycling layer preserves this bit-for-bit: typed events are scheduled
+// in exactly the closure path's order, and pooled objects are fully
+// re-zeroed, so a reused replayer's output is indistinguishable from a
+// cold one's.
 package replay

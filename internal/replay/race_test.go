@@ -1,0 +1,7 @@
+//go:build race
+
+package replay
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// allocates, so the allocation-budget guards skip themselves under -race.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"fmt"
+	"sync"
 
 	"overlapsim/internal/des"
 	"overlapsim/internal/machine"
@@ -83,10 +84,158 @@ func (r *Result) MeanBlockedFraction() float64 {
 	return sum / float64(len(r.Ranks))
 }
 
+// replayerPool recycles Replayers across Simulate calls, so the package-
+// level entry point gets warm free lists for free — in a sweep every worker
+// reuses scratch state from earlier grid points.
+var replayerPool = sync.Pool{New: func() any { return NewReplayer() }}
+
 // Simulate replays the trace set on the platform. The platform is auto-
 // sized to the rank count when its capacity is too small; MIPS 0 defers to
-// the rate recorded in the trace.
+// the rate recorded in the trace. Simulate is a pure function of its
+// arguments; internally it draws a pooled Replayer, so repeated calls do
+// not pay the scratch-allocation cost of a cold replayer.
 func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
+	r := replayerPool.Get().(*Replayer)
+	res, err := r.Simulate(ts, cfg)
+	replayerPool.Put(r)
+	return res, err
+}
+
+// Event kinds of the replay model. A proc only ever receives evAdvance;
+// transfers receive the network-phase kinds.
+const (
+	evAdvance  des.Kind = iota // proc: resume the rank's state machine
+	evDeliver                  // transfer: delivery completes
+	evWireDone                 // transfer: wire occupancy ends, resources free
+)
+
+// channelKey identifies a directed message channel for FIFO matching.
+type channelKey struct {
+	src, dst, tag int
+}
+
+// chanQueue is a FIFO of unmatched transfer halves for one channel. Popped
+// slots are nilled (no retention) and the backing array is rewound whenever
+// the queue drains, so steady-state matching never allocates. The dirty
+// flag marks queues pushed to during the current run; reset clears only
+// those instead of walking every channel ever seen.
+type chanQueue struct {
+	items []*transfer
+	head  int
+	dirty bool
+}
+
+func (q *chanQueue) push(t *transfer) { q.items = append(q.items, t) }
+
+func (q *chanQueue) empty() bool { return q == nil || q.head == len(q.items) }
+
+func (q *chanQueue) pop() *transfer {
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return t
+}
+
+// reset drops any leftover halves (an aborted run) and rewinds the queue.
+func (q *chanQueue) reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+	q.head = 0
+	q.dirty = false
+}
+
+// transfer is one point-to-point message moving through the network model.
+// Before matching, the object represents whichever half was posted first.
+// Transfers are recycled through the replayer's free list: refs counts the
+// request-table references (ISend/IRecv entries not yet consumed by Wait),
+// and the object returns to the pool once delivered, fully matched, and
+// unreferenced.
+type transfer struct {
+	sim           *Replayer
+	src, dst, tag int
+	size          units.Bytes
+	local         bool
+	eager         bool
+
+	sendPosted, recvPosted bool
+	started, delivered     bool
+
+	refs    int     // live request-table references
+	sender  *proc   // blocked rendezvous sender, resumed at delivery
+	waiters []*proc // procs blocked on this transfer's delivery
+}
+
+// HandleEvent dispatches the transfer's typed events.
+func (t *transfer) HandleEvent(k des.Kind) {
+	switch k {
+	case evDeliver:
+		t.sim.deliver(t)
+	case evWireDone:
+		t.sim.wireDone(t)
+	default:
+		t.sim.fail(fmt.Errorf("replay: transfer %d->%d received unknown event kind %d", t.src, t.dst, k))
+	}
+}
+
+// collSlot synchronizes one collective operation across ranks. Ranks find
+// their slot by their per-rank collective counter; the trace validator
+// guarantees all ranks agree on the sequence. Slots are pooled.
+type collSlot struct {
+	idx     int
+	rec     trace.Record
+	arrived int
+	procs   []*proc
+}
+
+// Replayer is a reusable trace replayer. It owns all replay scratch state —
+// the DES engine and its queue, rank state machines, channel FIFOs, the
+// transfer free list, collective slots — and recycles everything across
+// Simulate calls, so a warm replayer's event loop runs without heap
+// allocation. The zero value is not usable; create replayers with
+// NewReplayer. A Replayer must not be used concurrently; the package-level
+// Simulate draws from an internal pool and is safe for concurrent use.
+type Replayer struct {
+	eng  *des.Engine
+	cfg  machine.Config
+	mips units.MIPS
+
+	procs  []*proc // reusable rank machines; procs[:nprocs] are active
+	nprocs int
+
+	sendQ, recvQ map[channelKey]*chanQueue
+	dirtyQ       []*chanQueue // queues pushed to this run; the reset worklist
+	pending      []*transfer  // protocol-ready transfers queued for resources
+	outUse       []int        // per-node output links in use
+	inUse        []int        // per-node input links in use
+	busUse       int
+
+	slots     map[int]*collSlot
+	freeT     []*transfer // transfer free list
+	freeSlots []*collSlot // collective slot free list
+
+	stats NetworkStats
+	err   error
+}
+
+// NewReplayer returns a replayer with cold scratch state.
+func NewReplayer() *Replayer {
+	return &Replayer{
+		eng:   des.New(),
+		sendQ: map[channelKey]*chanQueue{},
+		recvQ: map[channelKey]*chanQueue{},
+		slots: map[int]*collSlot{},
+	}
+}
+
+// Simulate replays the trace set on the platform; see the package-level
+// Simulate for the model contract. The replayer's scratch state is reused,
+// so after the first run on a trace shape the steady-state event loop does
+// not allocate.
+func (s *Replayer) Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
 	if ts == nil || ts.NRanks() == 0 {
 		return nil, fmt.Errorf("replay: empty trace set")
 	}
@@ -103,30 +252,17 @@ func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
 	if mips == 0 {
 		mips = ts.MIPS
 	}
-
-	s := &sim{
-		eng:    des.New(),
-		cfg:    cfg,
-		mips:   mips,
-		sendQ:  map[channelKey][]*transfer{},
-		recvQ:  map[channelKey][]*transfer{},
-		outUse: make([]int, cfg.Nodes),
-		inUse:  make([]int, cfg.Nodes),
-		slots:  map[int]*collSlot{},
-	}
-	s.procs = make([]*proc, ts.NRanks())
-	for i := range s.procs {
-		s.procs[i] = &proc{
-			rank: i,
-			recs: ts.Traces[i].Records,
-			reqs: map[int]*transfer{},
-			tl:   timeline.NewBuilder(i),
-			sim:  s,
+	s.reset(ts, cfg, mips)
+	// Results never reference the trace records, so drop them on the way
+	// out: an idle pooled replayer must not pin the last trace set it ran.
+	defer func() {
+		for _, p := range s.procs[:s.nprocs] {
+			p.recs = nil
 		}
-	}
-	for _, p := range s.procs {
-		p := p
-		s.eng.Schedule(0, func() { p.advance() })
+	}()
+
+	for _, p := range s.procs[:s.nprocs] {
+		s.eng.ScheduleEvent(0, p, evAdvance)
 	}
 	if err := s.eng.Run(); err != nil {
 		return nil, fmt.Errorf("replay: %w", err)
@@ -138,9 +274,17 @@ func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Network: s.stats, Steps: s.eng.Steps()}
-	tset := &timeline.Set{Name: ts.Name, Variant: ts.Variant}
-	for _, p := range s.procs {
+	res := &Result{
+		Network: s.stats,
+		Steps:   s.eng.Steps(),
+		Ranks:   make([]RankBreakdown, 0, s.nprocs),
+	}
+	tset := &timeline.Set{
+		Name:    ts.Name,
+		Variant: ts.Variant,
+		Lines:   make([]timeline.Timeline, 0, s.nprocs),
+	}
+	for _, p := range s.procs[:s.nprocs] {
 		line := p.tl.Finish(p.finish)
 		if p.finish > res.Total {
 			res.Total = p.finish
@@ -165,65 +309,100 @@ func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
 	return res, nil
 }
 
-// channelKey identifies a directed message channel for FIFO matching.
-type channelKey struct {
-	src, dst, tag int
+// reset prepares the replayer for one run, recycling all scratch state. A
+// preceding run that aborted mid-flight (deadlock, model error) may have
+// left events, unmatched halves or collective slots behind; everything is
+// cleared here rather than at the end of a run, so an errored replayer
+// stays reusable.
+func (s *Replayer) reset(ts *trace.Set, cfg machine.Config, mips units.MIPS) {
+	s.eng.Reset()
+	s.cfg = cfg
+	s.mips = mips
+	s.stats = NetworkStats{}
+	s.err = nil
+	s.busUse = 0
+	s.outUse = resizeZeroed(s.outUse, cfg.Nodes)
+	s.inUse = resizeZeroed(s.inUse, cfg.Nodes)
+	for _, q := range s.dirtyQ {
+		q.reset()
+	}
+	clear(s.dirtyQ)
+	s.dirtyQ = s.dirtyQ[:0]
+	clear(s.pending)
+	s.pending = s.pending[:0]
+	clear(s.slots)
+
+	n := ts.NRanks()
+	for len(s.procs) < n {
+		s.procs = append(s.procs, &proc{
+			sim:  s,
+			reqs: map[int]*transfer{},
+			tl:   timeline.NewBuilder(len(s.procs)),
+		})
+	}
+	s.nprocs = n
+	for i, p := range s.procs[:n] {
+		p.rank = i
+		p.recs = ts.Traces[i].Records
+		p.pc = 0
+		clear(p.reqs)
+		p.tl.Reset(i)
+		p.collIdx = 0
+		p.overheadPaid = false
+		p.finished = false
+		p.finish = 0
+	}
 }
 
-// transfer is one point-to-point message moving through the network model.
-// Before matching, the object represents whichever half was posted first.
-type transfer struct {
-	src, dst, tag int
-	size          units.Bytes
-	local         bool
-	eager         bool
-
-	sendPosted, recvPosted bool
-	started, delivered     bool
-
-	sender  *proc   // blocked rendezvous sender, resumed at delivery
-	waiters []*proc // procs blocked on this transfer's delivery
+// resizeZeroed returns a zero-filled int slice of length n, reusing the
+// given backing array when it is large enough.
+func resizeZeroed(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
-// collSlot synchronizes one collective operation across ranks. Ranks find
-// their slot by their per-rank collective counter; the trace validator
-// guarantees all ranks agree on the sequence.
-type collSlot struct {
-	idx     int
-	rec     trace.Record
-	arrived int
-	procs   []*proc
+// newTransfer draws a zeroed transfer from the free list.
+func (s *Replayer) newTransfer(src, dst, tag int) *transfer {
+	if n := len(s.freeT); n > 0 {
+		t := s.freeT[n-1]
+		s.freeT[n-1] = nil
+		s.freeT = s.freeT[:n-1]
+		t.src, t.dst, t.tag = src, dst, tag
+		return t
+	}
+	return &transfer{sim: s, src: src, dst: dst, tag: tag}
 }
 
-// sim holds the global replay state.
-type sim struct {
-	eng   *des.Engine
-	cfg   machine.Config
-	mips  units.MIPS
-	procs []*proc
-
-	sendQ, recvQ map[channelKey][]*transfer
-	pending      []*transfer // protocol-ready transfers queued for resources
-	outUse       []int       // per-node output links in use
-	inUse        []int       // per-node input links in use
-	busUse       int
-
-	slots map[int]*collSlot
-
-	stats NetworkStats
-	err   error
+// releaseTransfer zeroes the transfer (keeping its waiters capacity) and
+// returns it to the free list.
+func (s *Replayer) releaseTransfer(t *transfer) {
+	*t = transfer{sim: s, waiters: t.waiters[:0]}
+	s.freeT = append(s.freeT, t)
 }
 
-func (s *sim) fail(err error) {
+// maybeRelease recycles a transfer once nothing can reference it again:
+// delivered, matched on both sides (so it sits in no channel queue), no
+// live request-table references, and nobody blocked on it.
+func (s *Replayer) maybeRelease(t *transfer) {
+	if t.delivered && t.sendPosted && t.recvPosted && t.refs == 0 && t.sender == nil && len(t.waiters) == 0 {
+		s.releaseTransfer(t)
+	}
+}
+
+func (s *Replayer) fail(err error) {
 	if s.err == nil {
 		s.err = err
 	}
 	s.eng.Stop()
 }
 
-func (s *sim) checkAllFinished() error {
+func (s *Replayer) checkAllFinished() error {
 	var stuck []string
-	for _, p := range s.procs {
+	for _, p := range s.procs[:s.nprocs] {
 		if !p.finished {
 			desc := "at end of trace"
 			if p.pc < len(p.recs) {
@@ -254,12 +433,16 @@ type proc struct {
 	pc           int
 	reqs         map[int]*transfer
 	tl           *timeline.Builder
-	sim          *sim
+	sim          *Replayer
 	collIdx      int
 	overheadPaid bool // the CPU overhead of recs[pc] has been charged
 	finished     bool
 	finish       units.Time
 }
+
+// HandleEvent resumes the rank's state machine; a proc's only event kind is
+// evAdvance.
+func (p *proc) HandleEvent(des.Kind) { p.advance() }
 
 // payOverhead charges the per-message CPU overhead for the posting record
 // at p.pc. It returns true when the proc must yield (the overhead occupies
@@ -275,8 +458,7 @@ func (p *proc) payOverhead() bool {
 	}
 	p.overheadPaid = true
 	p.tl.Enter(s.eng.Now(), timeline.Overhead)
-	p2 := p
-	s.eng.ScheduleAfter(s.cfg.CPUOverhead, func() { p2.advance() })
+	s.eng.ScheduleEventAfter(s.cfg.CPUOverhead, p, evAdvance)
 	return true
 }
 
@@ -293,8 +475,7 @@ func (p *proc) advance() {
 				continue
 			}
 			p.tl.Enter(s.eng.Now(), timeline.Compute)
-			p2 := p
-			s.eng.ScheduleAfter(dur, func() { p2.advance() })
+			s.eng.ScheduleEventAfter(dur, p, evAdvance)
 			return
 
 		case trace.KindMarker:
@@ -308,6 +489,7 @@ func (p *proc) advance() {
 			p.pc++
 			t := s.postSend(p.rank, rec)
 			p.reqs[rec.Req] = t
+			t.refs++
 
 		case trace.KindSend:
 			if p.payOverhead() {
@@ -328,6 +510,7 @@ func (p *proc) advance() {
 			p.pc++
 			t := s.postRecv(p.rank, rec)
 			p.reqs[rec.Req] = t
+			t.refs++
 
 		case trace.KindRecv:
 			if p.payOverhead() {
@@ -340,6 +523,7 @@ func (p *proc) advance() {
 				p.tl.Enter(s.eng.Now(), timeline.RecvBlocked)
 				return
 			}
+			s.maybeRelease(t)
 
 		case trace.KindWait:
 			t, ok := p.reqs[rec.Req]
@@ -348,24 +532,29 @@ func (p *proc) advance() {
 				return
 			}
 			p.pc++
+			// The trace validator guarantees each request is waited at most
+			// once, so the table entry can be consumed here.
+			delete(p.reqs, rec.Req)
+			t.refs--
 			if !t.delivered {
 				t.waiters = append(t.waiters, p)
 				p.tl.Enter(s.eng.Now(), timeline.WaitBlocked)
 				return
 			}
+			s.maybeRelease(t)
 
 		case trace.KindCollective:
 			p.pc++
 			slot, ok := s.slots[p.collIdx]
 			if !ok {
-				slot = &collSlot{idx: p.collIdx, rec: rec}
+				slot = s.newSlot(p.collIdx, rec)
 				s.slots[p.collIdx] = slot
 			}
 			p.collIdx++
 			slot.arrived++
 			slot.procs = append(slot.procs, p)
 			p.tl.Enter(s.eng.Now(), timeline.CollBlocked)
-			if slot.arrived == len(s.procs) {
+			if slot.arrived == s.nprocs {
 				s.releaseCollective(slot)
 			}
 			return
@@ -379,28 +568,56 @@ func (p *proc) advance() {
 	p.finish = s.eng.Now()
 }
 
-// releaseCollective charges the platform's collective cost and resumes all
-// participants.
-func (s *sim) releaseCollective(slot *collSlot) {
-	cost := s.cfg.CollectiveCost(slot.rec.Coll, slot.rec.Size, len(s.procs))
+// newSlot draws a collective slot from the free list.
+func (s *Replayer) newSlot(idx int, rec trace.Record) *collSlot {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots[n-1] = nil
+		s.freeSlots = s.freeSlots[:n-1]
+		slot.idx, slot.rec, slot.arrived = idx, rec, 0
+		return slot
+	}
+	return &collSlot{idx: idx, rec: rec}
+}
+
+// releaseCollective charges the platform's collective cost, resumes all
+// participants and recycles the slot.
+func (s *Replayer) releaseCollective(slot *collSlot) {
+	cost := s.cfg.CollectiveCost(slot.rec.Coll, slot.rec.Size, s.nprocs)
 	s.stats.Collectives++
 	delete(s.slots, slot.idx)
 	for _, p := range slot.procs {
-		p := p
-		s.eng.ScheduleAfter(cost, func() { p.advance() })
+		s.eng.ScheduleEventAfter(cost, p, evAdvance)
 	}
+	slot.procs = slot.procs[:0]
+	s.freeSlots = append(s.freeSlots, slot)
+}
+
+// enqueue appends the transfer to the channel's queue, creating the queue
+// on first use (queues persist across runs; a replayer reused on the same
+// workload never re-creates them) and marking it for the next reset.
+func (s *Replayer) enqueue(m map[channelKey]*chanQueue, key channelKey, t *transfer) {
+	q := m[key]
+	if q == nil {
+		q = &chanQueue{}
+		m[key] = q
+	}
+	if !q.dirty {
+		q.dirty = true
+		s.dirtyQ = append(s.dirtyQ, q)
+	}
+	q.push(t)
 }
 
 // postSend matches or enqueues the sender half of a transfer.
-func (s *sim) postSend(src int, rec trace.Record) *transfer {
+func (s *Replayer) postSend(src int, rec trace.Record) *transfer {
 	key := channelKey{src, rec.Peer, rec.Tag}
 	var t *transfer
-	if q := s.recvQ[key]; len(q) > 0 {
-		t = q[0]
-		s.recvQ[key] = q[1:]
+	if q := s.recvQ[key]; !q.empty() {
+		t = q.pop()
 	} else {
-		t = &transfer{src: src, dst: rec.Peer, tag: rec.Tag}
-		s.sendQ[key] = append(s.sendQ[key], t)
+		t = s.newTransfer(src, rec.Peer, rec.Tag)
+		s.enqueue(s.sendQ, key, t)
 	}
 	t.sendPosted = true
 	t.size = rec.Size
@@ -411,15 +628,15 @@ func (s *sim) postSend(src int, rec trace.Record) *transfer {
 }
 
 // postRecv matches or enqueues the receiver half of a transfer.
-func (s *sim) postRecv(dst int, rec trace.Record) *transfer {
+func (s *Replayer) postRecv(dst int, rec trace.Record) *transfer {
 	key := channelKey{rec.Peer, dst, rec.Tag}
 	var t *transfer
-	if q := s.sendQ[key]; len(q) > 0 {
-		t = q[0]
-		s.sendQ[key] = q[1:]
+	if q := s.sendQ[key]; !q.empty() {
+		t = q.pop()
 	} else {
-		t = &transfer{src: rec.Peer, dst: dst, tag: rec.Tag, size: rec.Size}
-		s.recvQ[key] = append(s.recvQ[key], t)
+		t = s.newTransfer(rec.Peer, dst, rec.Tag)
+		t.size = rec.Size
+		s.enqueue(s.recvQ, key, t)
 	}
 	t.recvPosted = true
 	s.maybeStart(t)
@@ -429,7 +646,7 @@ func (s *sim) postRecv(dst int, rec trace.Record) *transfer {
 // maybeStart checks protocol readiness and routes the transfer into the
 // network: local transfers bypass resources; remote ones queue for links
 // and a bus.
-func (s *sim) maybeStart(t *transfer) {
+func (s *Replayer) maybeStart(t *transfer) {
 	if t.started {
 		return
 	}
@@ -442,7 +659,7 @@ func (s *sim) maybeStart(t *transfer) {
 	t.started = true
 	if t.local {
 		d := s.cfg.LocalLatency + s.cfg.LocalTransferTime(t.size)
-		s.eng.ScheduleAfter(d, func() { s.deliver(t) })
+		s.eng.ScheduleEventAfter(d, t, evDeliver)
 		return
 	}
 	s.pending = append(s.pending, t)
@@ -453,7 +670,7 @@ func (s *sim) maybeStart(t *transfer) {
 }
 
 // resourcesFree reports whether the transfer can occupy its links and a bus.
-func (s *sim) resourcesFree(t *transfer) bool {
+func (s *Replayer) resourcesFree(t *transfer) bool {
 	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
 	if s.cfg.OutLinks > 0 && s.outUse[srcNode] >= s.cfg.OutLinks {
 		return false
@@ -469,7 +686,7 @@ func (s *sim) resourcesFree(t *transfer) bool {
 
 // drainPending starts every queued transfer whose resources are free, in
 // FIFO order with skipping (a blocked head does not stall unrelated pairs).
-func (s *sim) drainPending() {
+func (s *Replayer) drainPending() {
 	remaining := s.pending[:0]
 	for _, t := range s.pending {
 		if s.resourcesFree(t) {
@@ -481,27 +698,32 @@ func (s *sim) drainPending() {
 	s.pending = remaining
 }
 
-// startRemote occupies resources and schedules the wire phase.
-func (s *sim) startRemote(t *transfer) {
+// startRemote occupies resources and schedules the wire phase. Resources
+// are held for the wire time; delivery happens one latency later (the
+// latency models end-point overheads, not bus occupancy).
+func (s *Replayer) startRemote(t *transfer) {
 	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
 	s.outUse[srcNode]++
 	s.inUse[dstNode]++
 	s.busUse++
 	wire := s.cfg.TransferTime(t.size)
 	s.stats.BusTime += wire
-	// Resources are held for the wire time; delivery happens one latency
-	// later (the latency models end-point overheads, not bus occupancy).
-	s.eng.ScheduleAfter(wire, func() {
-		s.outUse[srcNode]--
-		s.inUse[dstNode]--
-		s.busUse--
-		s.eng.ScheduleAfter(s.cfg.Latency, func() { s.deliver(t) })
-		s.drainPending()
-	})
+	s.eng.ScheduleEventAfter(wire, t, evWireDone)
+}
+
+// wireDone releases the transfer's resources, schedules the delivery one
+// latency later, and hands the freed resources to waiting transfers.
+func (s *Replayer) wireDone(t *transfer) {
+	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
+	s.outUse[srcNode]--
+	s.inUse[dstNode]--
+	s.busUse--
+	s.eng.ScheduleEventAfter(s.cfg.Latency, t, evDeliver)
+	s.drainPending()
 }
 
 // deliver completes the transfer and resumes everything blocked on it.
-func (s *sim) deliver(t *transfer) {
+func (s *Replayer) deliver(t *transfer) {
 	t.delivered = true
 	s.stats.Transfers++
 	s.stats.Bytes += t.size
@@ -514,8 +736,8 @@ func (s *sim) deliver(t *transfer) {
 		p.advance()
 	}
 	for _, p := range t.waiters {
-		p := p
 		p.advance()
 	}
-	t.waiters = nil
+	t.waiters = t.waiters[:0]
+	s.maybeRelease(t)
 }

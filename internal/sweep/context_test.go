@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"overlapsim/internal/machine"
+)
+
+func TestMapContextCancelStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 1000
+	_, err := MapContext(ctx, Engine{Workers: 4}, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		// Give the other workers a moment to observe the cancellation, so
+		// the promptness assertion below is meaningful rather than racy.
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// "Promptly": claimed jobs finish but the bulk of the grid never runs.
+	if s := started.Load(); s >= n/2 {
+		t.Errorf("%d of %d jobs started after cancellation", s, n)
+	}
+}
+
+func TestMapContextCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		out, err := MapContext(ctx, Engine{Workers: workers}, 10, func(i int) (int, error) {
+			t.Errorf("workers=%d: job %d ran under a cancelled context", workers, i)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: out = %v, want nil (no partial results)", workers, out)
+		}
+	}
+}
+
+func TestMapContextSerialChecksBetweenJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := MapContext(ctx, Engine{Workers: 1}, 100, func(i int) (int, error) {
+		ran++
+		if i == 4 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Errorf("ran %d jobs, want 5 (cancel observed before the next claim)", ran)
+	}
+}
+
+// TestRunContextCancelled covers the Runner plumbing: a cancelled sweep
+// returns ctx.Err() and no results, so no partial output can be written,
+// and the runner stays usable for a subsequent complete run.
+func TestRunContextCancelled(t *testing.T) {
+	r := NewRunner(machine.Default())
+	r.Size = 64
+	r.Iters = 1
+	r.Engine = Engine{Workers: 2}
+	g := Grid{Apps: []string{"pingpong"}, Chunks: []int{2, 4, 8}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := r.RunContext(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled sweep returned %d results, want none", len(out))
+	}
+
+	// The same runner completes the sweep once the context allows it.
+	res, err := r.RunContext(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != g.Size() {
+		t.Fatalf("got %d results, want %d", len(res), g.Size())
+	}
+}

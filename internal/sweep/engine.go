@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -41,18 +42,32 @@ func (e *JobError) Error() string { return fmt.Sprintf("sweep: job %d: %v", e.In
 func (e *JobError) Unwrap() error { return e.Err }
 
 // Map runs fn(i) for every i in [0, n) on the engine's worker pool and
-// returns the results in index order. fn must be safe for concurrent use
-// and deterministic in i for the worker-count invariance guarantee to hold.
-//
-// On failure Map returns a *JobError wrapping the error of the lowest
-// failing index. Jobs not yet claimed when a failure is observed are
-// skipped; jobs already claimed run to completion. Because workers claim
-// indices in ascending order, every index below the lowest failing one has
-// been claimed (and succeeds) by the time the failure can be observed, so
-// the reported error is the same one a serial run would hit first.
+// returns the results in index order. It is MapContext without
+// cancellation.
 func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), e, n, fn)
+}
+
+// MapContext runs fn(i) for every i in [0, n) on the engine's worker pool
+// and returns the results in index order. fn must be safe for concurrent
+// use and deterministic in i for the worker-count invariance guarantee to
+// hold.
+//
+// On failure MapContext returns a *JobError wrapping the error of the
+// lowest failing index. Jobs not yet claimed when a failure is observed
+// are skipped; jobs already claimed run to completion. Because workers
+// claim indices in ascending order, every index below the lowest failing
+// one has been claimed (and succeeds) by the time the failure can be
+// observed, so the reported error is the same one a serial run would hit
+// first.
+//
+// Cancelling the context stops the sweep promptly: no new jobs are
+// claimed, already-claimed jobs run to completion, and MapContext returns
+// ctx.Err() with no results. Cancellation takes precedence over job
+// failures observed in the same window.
+func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	workers := e.WorkerCount()
 	if workers > n {
@@ -72,12 +87,21 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, &JobError{Index: i, Err: err}
 			}
 			out[i] = v
 			report()
+		}
+		// Mirror the parallel path: a cancellation that lands during the
+		// final job still voids the run, so the outcome never depends on
+		// the worker count.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -91,10 +115,10 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				// The failure check precedes the claim: once an index is
-				// claimed it always runs, which is what guarantees every
-				// index below the lowest failing one completes.
-				if failed.Load() {
+				// The failure/cancellation check precedes the claim: once an
+				// index is claimed it always runs, which is what guarantees
+				// every index below the lowest failing one completes.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -113,6 +137,9 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, &JobError{Index: i, Err: err}

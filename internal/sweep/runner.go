@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -274,11 +275,19 @@ func (r *Runner) RunPoint(p Point) (Result, error) {
 // Results come back in expansion order, bit-identical for any worker
 // count; the first error (in point order) aborts the sweep.
 func (r *Runner) Run(g Grid) ([]Result, error) {
+	return r.RunContext(context.Background(), g)
+}
+
+// RunContext is Run with cancellation: cancelling the context stops the
+// sweep promptly (claimed points finish, no new ones start) and returns
+// ctx.Err(). No partial results are returned, so callers cannot mistake an
+// interrupted sweep for a complete one.
+func (r *Runner) RunContext(ctx context.Context, g Grid) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	pts := g.Expand()
-	return Map(r.Engine, len(pts), func(i int) (Result, error) {
+	return MapContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
 	})
 }
@@ -288,6 +297,12 @@ func (r *Runner) Run(g Grid) ([]Result, error) {
 // ordering and error reporting follow the indices slice the same way Run
 // follows the full expansion.
 func (r *Runner) RunIndices(g Grid, indices []int) ([]Result, error) {
+	return r.RunIndicesContext(context.Background(), g, indices)
+}
+
+// RunIndicesContext is RunIndices with cancellation, following the
+// RunContext contract.
+func (r *Runner) RunIndicesContext(ctx context.Context, g Grid, indices []int) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -297,7 +312,7 @@ func (r *Runner) RunIndices(g Grid, indices []int) ([]Result, error) {
 			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d)", i, len(pts))
 		}
 	}
-	return Map(r.Engine, len(indices), func(j int) (Result, error) {
+	return MapContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
 		return r.RunPoint(pts[indices[j]])
 	})
 }

@@ -160,6 +160,18 @@ func NewBuilder(rank int) *Builder {
 	return &Builder{line: Timeline{Rank: rank}}
 }
 
+// Reset makes the builder record a fresh timeline for the given rank while
+// keeping the interval and event backing arrays, so a reused builder
+// reaches zero steady-state allocation. Timelines returned by earlier
+// Finish calls are unaffected: Finish hands out an independent snapshot.
+func (b *Builder) Reset(rank int) {
+	b.line.Rank = rank
+	b.line.Intervals = b.line.Intervals[:0]
+	b.line.Events = b.line.Events[:0]
+	b.line.Finish = 0
+	b.open = false
+}
+
 // Enter switches the rank into the given state at time now, closing any
 // open interval. Zero-length intervals are dropped and adjacent intervals
 // in the same state merge.
@@ -192,11 +204,23 @@ func (b *Builder) close(now units.Time) {
 	b.open = false
 }
 
-// Finish closes the timeline at the given instant and returns it.
+// Finish closes the timeline at the given instant and returns it. The
+// returned Timeline owns its interval and event slices — it stays valid
+// after the builder is Reset and reused.
 func (b *Builder) Finish(now units.Time) Timeline {
 	if b.open {
 		b.close(now)
 	}
 	b.line.Finish = now
-	return b.line
+	out := b.line
+	// Empty slices normalize to nil so a reused builder's output is
+	// indistinguishable from a fresh one's.
+	out.Intervals, out.Events = nil, nil
+	if len(b.line.Intervals) > 0 {
+		out.Intervals = append([]Interval(nil), b.line.Intervals...)
+	}
+	if len(b.line.Events) > 0 {
+		out.Events = append([]Event(nil), b.line.Events...)
+	}
+	return out
 }

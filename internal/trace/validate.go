@@ -2,8 +2,40 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
+
+// edge identifies a directed point-to-point message class for matching.
+type edge struct {
+	src, dst, tag int
+	size          int64
+}
+
+// Request-state bits for the per-rank request map.
+const (
+	reqPosted uint8 = 1 << iota
+	reqWaited
+)
+
+// validateScratch holds the working storage of one Validate call. Scratch
+// objects are pooled and their maps and slices cleared rather than
+// reallocated, so validating inside the replay hot path (every Simulate
+// call revalidates its input) settles to zero steady-state allocation.
+type validateScratch struct {
+	sends, recvs map[edge]int
+	reqs         map[int]uint8 // per-rank posted/waited bits
+	keys         []edge
+	colls        []Record // rank 0's collective sequence, the reference
+}
+
+var validatePool = sync.Pool{New: func() any {
+	return &validateScratch{
+		sends: map[edge]int{},
+		recvs: map[edge]int{},
+		reqs:  map[int]uint8{},
+	}
+}}
 
 // Validate checks structural well-formedness of a trace set:
 //
@@ -16,138 +48,141 @@ import (
 //     and root must agree position by position).
 //
 // It returns nil when the set is consistent, otherwise an error describing
-// the first few problems found.
+// the first few problems found. Valid sets are checked without formatting
+// work: problem locations are rendered only when a problem exists.
 func Validate(s *Set) error {
+	sc := validatePool.Get().(*validateScratch)
+	defer validatePool.Put(sc)
+	clear(sc.sends)
+	clear(sc.recvs)
+	sc.colls = sc.colls[:0]
+
 	var problems []string
 	addf := func(format string, args ...any) {
 		if len(problems) < 16 {
 			problems = append(problems, fmt.Sprintf(format, args...))
 		}
 	}
-
-	type edge struct {
-		src, dst, tag int
-		size          int64
+	// where renders a problem location; it runs only on invalid input, so
+	// the hot (valid) path never formats.
+	where := func(i, j int, r Record) string {
+		return fmt.Sprintf("rank %d record %d (%s)", i, j, r)
 	}
-	sends := map[edge]int{}
-	recvs := map[edge]int{}
-	var collSeqs [][]Record
 
 	for i := range s.Traces {
 		t := &s.Traces[i]
 		if t.Rank != i {
 			addf("trace %d has rank %d", i, t.Rank)
 		}
-		posted := map[int]bool{}
-		waited := map[int]bool{}
-		var colls []Record
+		clear(sc.reqs)
+		ncolls := 0
 		for j, r := range t.Records {
-			where := fmt.Sprintf("rank %d record %d (%s)", i, j, r)
 			switch r.Kind {
 			case KindBurst:
 				if r.Instr < 0 {
-					addf("%s: negative burst", where)
+					addf("%s: negative burst", where(i, j, r))
 				}
 			case KindSend, KindISend:
 				if r.Peer < 0 || r.Peer >= s.NRanks() {
-					addf("%s: peer out of range", where)
+					addf("%s: peer out of range", where(i, j, r))
 					continue
 				}
 				if r.Peer == i {
-					addf("%s: self-send", where)
+					addf("%s: self-send", where(i, j, r))
 				}
 				if r.Size < 0 {
-					addf("%s: negative size", where)
+					addf("%s: negative size", where(i, j, r))
 				}
-				sends[edge{i, r.Peer, r.Tag, int64(r.Size)}]++
+				sc.sends[edge{i, r.Peer, r.Tag, int64(r.Size)}]++
 				if r.Kind == KindISend {
-					if posted[r.Req] {
-						addf("%s: duplicate request id %d", where, r.Req)
+					if sc.reqs[r.Req]&reqPosted != 0 {
+						addf("%s: duplicate request id %d", where(i, j, r), r.Req)
 					}
-					posted[r.Req] = true
+					sc.reqs[r.Req] |= reqPosted
 				}
 			case KindRecv, KindIRecv:
 				if r.Peer < 0 || r.Peer >= s.NRanks() {
-					addf("%s: peer out of range", where)
+					addf("%s: peer out of range", where(i, j, r))
 					continue
 				}
 				if r.Size < 0 {
-					addf("%s: negative size", where)
+					addf("%s: negative size", where(i, j, r))
 				}
-				recvs[edge{r.Peer, i, r.Tag, int64(r.Size)}]++
+				sc.recvs[edge{r.Peer, i, r.Tag, int64(r.Size)}]++
 				if r.Kind == KindIRecv {
-					if posted[r.Req] {
-						addf("%s: duplicate request id %d", where, r.Req)
+					if sc.reqs[r.Req]&reqPosted != 0 {
+						addf("%s: duplicate request id %d", where(i, j, r), r.Req)
 					}
-					posted[r.Req] = true
+					sc.reqs[r.Req] |= reqPosted
 				}
 			case KindWait:
-				if !posted[r.Req] {
-					addf("%s: wait for unposted request %d", where, r.Req)
+				if sc.reqs[r.Req]&reqPosted == 0 {
+					addf("%s: wait for unposted request %d", where(i, j, r), r.Req)
 				}
-				if waited[r.Req] {
-					addf("%s: request %d waited twice", where, r.Req)
+				if sc.reqs[r.Req]&reqWaited != 0 {
+					addf("%s: request %d waited twice", where(i, j, r), r.Req)
 				}
-				waited[r.Req] = true
+				sc.reqs[r.Req] |= reqWaited
 			case KindCollective:
 				if r.Root < 0 || r.Root >= s.NRanks() {
-					addf("%s: root out of range", where)
+					addf("%s: root out of range", where(i, j, r))
 				}
-				colls = append(colls, r)
+				// Rank 0's sequence is the reference; later ranks compare
+				// against it in stream order instead of storing their own.
+				if i == 0 {
+					sc.colls = append(sc.colls, r)
+				} else if ncolls < len(sc.colls) {
+					ref := sc.colls[ncolls]
+					if r.Coll != ref.Coll || r.Root != ref.Root {
+						addf("rank %d collective %d is %s root %d, rank 0 has %s root %d",
+							i, ncolls, r.Coll, r.Root, ref.Coll, ref.Root)
+					}
+				}
+				ncolls++
 			case KindMarker:
 				// always fine
 			default:
-				addf("%s: unknown kind", where)
+				addf("%s: unknown kind", where(i, j, r))
 			}
 		}
-		collSeqs = append(collSeqs, colls)
+		if i > 0 && ncolls != len(sc.colls) {
+			addf("rank %d executes %d collectives, rank 0 executes %d", i, ncolls, len(sc.colls))
+		}
 	}
 
 	// Point-to-point matching.
-	keys := make([]edge, 0, len(sends)+len(recvs))
-	for k := range sends {
-		keys = append(keys, k)
+	sc.keys = sc.keys[:0]
+	for k := range sc.sends {
+		sc.keys = append(sc.keys, k)
 	}
-	for k := range recvs {
-		if _, dup := sends[k]; !dup {
-			keys = append(keys, k)
+	for k := range sc.recvs {
+		if _, dup := sc.sends[k]; !dup {
+			sc.keys = append(sc.keys, k)
 		}
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		ka, kb := keys[a], keys[b]
+	keys := sc.keys
+	slices.SortFunc(keys, func(ka, kb edge) int {
 		if ka.src != kb.src {
-			return ka.src < kb.src
+			return ka.src - kb.src
 		}
 		if ka.dst != kb.dst {
-			return ka.dst < kb.dst
+			return ka.dst - kb.dst
 		}
 		if ka.tag != kb.tag {
-			return ka.tag < kb.tag
+			return ka.tag - kb.tag
 		}
-		return ka.size < kb.size
+		switch {
+		case ka.size < kb.size:
+			return -1
+		case ka.size > kb.size:
+			return 1
+		}
+		return 0
 	})
 	for _, k := range keys {
-		if sends[k] != recvs[k] {
+		if sc.sends[k] != sc.recvs[k] {
 			addf("p2p mismatch %d->%d tag %d size %d: %d sends, %d recvs",
-				k.src, k.dst, k.tag, k.size, sends[k], recvs[k])
-		}
-	}
-
-	// Collective agreement across ranks.
-	if len(collSeqs) > 0 {
-		ref := collSeqs[0]
-		for rank := 1; rank < len(collSeqs); rank++ {
-			seq := collSeqs[rank]
-			if len(seq) != len(ref) {
-				addf("rank %d executes %d collectives, rank 0 executes %d", rank, len(seq), len(ref))
-				continue
-			}
-			for j := range seq {
-				if seq[j].Coll != ref[j].Coll || seq[j].Root != ref[j].Root {
-					addf("rank %d collective %d is %s root %d, rank 0 has %s root %d",
-						rank, j, seq[j].Coll, seq[j].Root, ref[j].Coll, ref[j].Root)
-				}
-			}
+				k.src, k.dst, k.tag, k.size, sc.sends[k], sc.recvs[k])
 		}
 	}
 

@@ -1,0 +1,65 @@
+#!/bin/sh
+# campaign.sh — shard-aware local campaign driver.
+#
+# Launches N `overlapsim sweep -shard k/N` processes in parallel, all
+# sharing one persistent trace cache so each workload is traced once
+# campaign-wide, then merges the shard files into the final output. The
+# merge verifies exactly-once coverage, and the result is byte-identical
+# to running the same sweep unsharded.
+#
+# Usage (normally driven by `make campaign`):
+#   N=4 OUT=campaign.csv FORMAT=csv CACHE=trace-cache ./scripts/campaign.sh \
+#       -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
+#
+# All positional arguments are passed through to `overlapsim sweep`.
+set -eu
+
+N="${N:-4}"
+OUT="${OUT:-campaign.csv}"
+FORMAT="${FORMAT:-csv}"
+CACHE="${CACHE:-trace-cache}"
+GO="${GO:-go}"
+
+case "$N" in
+'' | *[!0-9]*)
+    echo "campaign: N must be a positive integer, got '$N'" >&2
+    exit 2
+    ;;
+esac
+if [ "$N" -lt 1 ]; then
+    echo "campaign: N must be >= 1, got $N" >&2
+    exit 2
+fi
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT INT TERM
+
+"$GO" build -o "$WORKDIR/overlapsim" ./cmd/overlapsim
+
+pids=""
+k=1
+while [ "$k" -le "$N" ]; do
+    "$WORKDIR/overlapsim" sweep "$@" -shard "$k/$N" -cache-dir "$CACHE" \
+        -o "$WORKDIR/shard$k.json" &
+    pids="$pids $!"
+    k=$((k + 1))
+done
+
+fail=0
+for pid in $pids; do
+    wait "$pid" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+    echo "campaign: a shard process failed; not merging" >&2
+    exit 1
+fi
+
+shards=""
+k=1
+while [ "$k" -le "$N" ]; do
+    shards="$shards $WORKDIR/shard$k.json"
+    k=$((k + 1))
+done
+# shellcheck disable=SC2086 # word splitting of $shards is intended
+"$WORKDIR/overlapsim" merge -format "$FORMAT" -o "$OUT" $shards
+echo "campaign: $N shards merged into $OUT (trace cache: $CACHE)" >&2
