@@ -9,7 +9,7 @@ FORMAT ?= csv
 CACHE ?= trace-cache
 ARGS ?= -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
 
-.PHONY: all build test race bench bench-smoke bench-json campaign lint fmt
+.PHONY: all build test race bench bench-smoke bench-json bench-compare campaign lint fmt
 
 all: build test
 
@@ -43,6 +43,15 @@ bench-json:
 		./internal/des ./internal/replay . > BENCH_PR3.txt
 	$(GO) run ./cmd/benchjson -baseline docs/bench-baseline.json -o BENCH_PR3.json < BENCH_PR3.txt
 	@echo wrote BENCH_PR3.json
+
+# Perf gate: diff the fresh record against the committed baseline and fail
+# on regressions. allocs/op is machine-independent and near-deterministic,
+# so it gets the tight threshold; ns/op only catches order-of-magnitude
+# blowups because the baseline was measured on different hardware and the
+# 100x benchtime is noisy (BenchmarkSimulatePipeline jitters ~2x).
+bench-compare: bench-json
+	$(GO) run ./cmd/benchjson compare docs/bench-baseline.json BENCH_PR3.json \
+		-threshold 300% -allocs-threshold 10%
 
 # One-command local scale-out: N parallel shard processes sharing a trace
 # cache, merged byte-identically. Override the knobs above, e.g.:

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// allocSlack is the flat allocs/op growth tolerated on top of the relative
+// threshold. The replay benchmarks draw scratch from a sync.Pool; a GC
+// landing mid-benchmark can cost a handful of re-allocations, which on a
+// 13-alloc benchmark would exceed any sane percentage.
+const allocSlack = 2
+
+// record is the common shape of both files compare accepts: the report
+// emitted by the convert mode ({"benchmarks": ...}) and the committed
+// baseline ({"label": ..., "benchmarks": ...}).
+type record struct {
+	Label      string      `json:"label"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// regression is one benchmark whose new numbers exceed a threshold.
+type regression struct {
+	name   string
+	metric string
+	old    float64
+	new    float64
+}
+
+func (r regression) String() string {
+	// A zero baseline (the allocation-free hot path's allocs/op) has no
+	// meaningful percentage; print the raw growth instead of +Inf%.
+	if r.old == 0 {
+		return fmt.Sprintf("%s: %s regressed 0 -> %.4g", r.name, r.metric, r.new)
+	}
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (%+.1f%%)",
+		r.name, r.metric, r.old, r.new, 100*(r.new/r.old-1))
+}
+
+// runCompare implements `benchjson compare old.json new.json [flags]`.
+// Flags and file arguments may be interleaved in any order.
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	thresholdFlag := fs.String("threshold", "10%", "maximum tolerated ns/op growth, e.g. 10% (plain numbers are percent)")
+	allocsFlag := fs.String("allocs-threshold", "", "maximum tolerated allocs/op growth (default: same as -threshold)")
+	var files []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		files = append(files, args[0])
+		args = args[1:]
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("compare wants exactly two record files (old.json new.json), got %d", len(files))
+	}
+	threshold, err := parseThreshold(*thresholdFlag)
+	if err != nil {
+		return fmt.Errorf("bad -threshold: %w", err)
+	}
+	allocsThreshold := threshold
+	if *allocsFlag != "" {
+		if allocsThreshold, err = parseThreshold(*allocsFlag); err != nil {
+			return fmt.Errorf("bad -allocs-threshold: %w", err)
+		}
+	}
+	old, err := readRecord(files[0])
+	if err != nil {
+		return err
+	}
+	cur, err := readRecord(files[1])
+	if err != nil {
+		return err
+	}
+	regressions, err := compare(stdout, old, cur, threshold, allocsThreshold)
+	if err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond the threshold (ns/op %+.0f%%, allocs/op %+.0f%% + %d)",
+			len(regressions), 100*threshold, 100*allocsThreshold, allocSlack)
+	}
+	return nil
+}
+
+// parseThreshold parses "10%" or "10" as the ratio 0.10. The threshold is
+// always a percentage; a bare number is percent, not a ratio, so "0.1"
+// means a tight 0.1%, never a lax 10%.
+func parseThreshold(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("threshold %q is negative", s)
+	}
+	return v / 100, nil
+}
+
+func readRecord(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in record", path)
+	}
+	if rec.Label == "" {
+		rec.Label = path
+	}
+	return &rec, nil
+}
+
+// compare prints a delta table for the benchmarks both records carry and
+// returns the ones that regressed beyond the thresholds. Benchmarks
+// present in only one record are reported as warnings, not failures: a
+// renamed or retired benchmark must not wedge the gate, and the warning
+// keeps silent coverage loss visible.
+func compare(w io.Writer, old, cur *record, threshold, allocsThreshold float64) ([]regression, error) {
+	olds := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		olds[b.Name] = b
+	}
+	fmt.Fprintf(w, "old: %s\nnew: %s\n", old.Label, cur.Label)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	var regressions []regression
+	matched := 0
+	for _, b := range cur.Benchmarks {
+		o, ok := olds[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s only in new record (not gated)\n", b.Name)
+			continue
+		}
+		matched++
+		delete(olds, b.Name)
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8s %12s %12s\n",
+			b.Name, o.NsPerOp, b.NsPerOp, deltaLabel(o.NsPerOp, b.NsPerOp),
+			allocsLabel(o.AllocsPerOp), allocsLabel(b.AllocsPerOp))
+		if o.NsPerOp > 0 && b.NsPerOp > o.NsPerOp*(1+threshold) {
+			regressions = append(regressions, regression{b.Name, "ns/op", o.NsPerOp, b.NsPerOp})
+		}
+		if o.AllocsPerOp >= 0 && b.AllocsPerOp >= 0 &&
+			float64(b.AllocsPerOp) > float64(o.AllocsPerOp)*(1+allocsThreshold)+allocSlack {
+			regressions = append(regressions, regression{b.Name, "allocs/op",
+				float64(o.AllocsPerOp), float64(b.AllocsPerOp)})
+		}
+	}
+	for name := range olds {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: %s only in old record (not gated)\n", name)
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("the records share no benchmarks; nothing to gate")
+	}
+	return regressions, nil
+}
+
+func allocsLabel(n int64) string {
+	if n < 0 {
+		return "-"
+	}
+	return fmt.Sprint(n)
+}
+
+func deltaLabel(old, new float64) string {
+	if old == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new/old-1))
+}

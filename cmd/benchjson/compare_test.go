@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, dir, name, label string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(record{Label: label, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: allocs}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", "old", []Benchmark{
+		bench("BenchmarkA", 1000, 10), bench("BenchmarkB", 500, 0),
+	})
+	cur := writeRecord(t, dir, "new.json", "new", []Benchmark{
+		bench("BenchmarkA", 1050, 10), bench("BenchmarkB", 400, 0),
+	})
+	var out bytes.Buffer
+	if err := runCompare([]string{old, cur, "-threshold", "10%"}, &out); err != nil {
+		t.Fatalf("within-threshold compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkA") {
+		t.Errorf("delta table missing benchmark:\n%s", out.String())
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", "old", []Benchmark{bench("BenchmarkA", 1000, 10)})
+	cur := writeRecord(t, dir, "new.json", "new", []Benchmark{bench("BenchmarkA", 1500, 10)})
+	var out bytes.Buffer
+	err := runCompare([]string{old, cur, "-threshold", "10%"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("50%% time regression passed a 10%% gate: %v", err)
+	}
+	// A generous threshold must tolerate it.
+	if err := runCompare([]string{old, cur, "-threshold", "100%"}, &out); err != nil {
+		t.Fatalf("50%% regression failed a 100%% gate: %v", err)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", "old", []Benchmark{bench("BenchmarkA", 1000, 10)})
+	cur := writeRecord(t, dir, "new.json", "new", []Benchmark{bench("BenchmarkA", 1000, 20)})
+	var out bytes.Buffer
+	err := runCompare([]string{old, cur, "-threshold", "500%", "-allocs-threshold", "10%"}, &out)
+	if err == nil {
+		t.Fatal("doubled allocs passed a 10% allocs gate")
+	}
+	// The flat slack tolerates small absolute growth on tiny counts
+	// (10 -> 12 is within 10% + 2).
+	cur = writeRecord(t, dir, "new2.json", "new", []Benchmark{bench("BenchmarkA", 1000, 12)})
+	if err := runCompare([]string{old, cur, "-threshold", "500%", "-allocs-threshold", "10%"}, &out); err != nil {
+		t.Fatalf("+2 allocs tripped the gate despite the slack: %v", err)
+	}
+}
+
+// TestCompareFlagsAfterFiles: the documented syntax puts the files first
+// and flags last; both orders must parse.
+func TestCompareFlagsAfterFiles(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", "old", []Benchmark{bench("BenchmarkA", 1000, 10)})
+	cur := writeRecord(t, dir, "new.json", "new", []Benchmark{bench("BenchmarkA", 1200, 10)})
+	var out bytes.Buffer
+	if err := runCompare([]string{old, cur, "-threshold", "30%"}, &out); err != nil {
+		t.Errorf("files-first order: %v", err)
+	}
+	if err := runCompare([]string{"-threshold", "30%", old, cur}, &out); err != nil {
+		t.Errorf("flags-first order: %v", err)
+	}
+	if err := runCompare([]string{old, cur, "-threshold", "10"}, &out); err == nil {
+		t.Error("bare '10' must mean 10%, so a 20% regression must fail")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", "old", []Benchmark{bench("BenchmarkA", 1000, 10)})
+	other := writeRecord(t, dir, "other.json", "other", []Benchmark{bench("BenchmarkZ", 1000, 10)})
+	var out bytes.Buffer
+	if err := runCompare([]string{old}, &out); err == nil {
+		t.Error("one file: expected error")
+	}
+	if err := runCompare([]string{old, other}, &out); err == nil || !strings.Contains(err.Error(), "share no benchmarks") {
+		t.Errorf("disjoint records: got %v", err)
+	}
+	if err := runCompare([]string{old, old, "-threshold", "-5%"}, &out); err == nil {
+		t.Error("negative threshold: expected error")
+	}
+	if err := runCompare([]string{old, filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Error("missing file: expected error")
+	}
+	// The baseline shape ({"label": ..., "benchmarks": ...}) is the same
+	// shape compare reads, so a committed baseline is directly comparable.
+	if err := runCompare([]string{old, old}, &out); err != nil {
+		t.Errorf("identical records must pass: %v", err)
+	}
+}

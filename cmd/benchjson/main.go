@@ -1,15 +1,28 @@
 // Command benchjson converts `go test -bench` output read from stdin into
 // a machine-readable JSON record — the format CI archives as BENCH_PR3.json
 // so the repository accumulates a performance trajectory instead of
-// benchmark numbers scrolling away in build logs.
+// benchmark numbers scrolling away in build logs — and compares two such
+// records so CI can gate on regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -baseline docs/bench-baseline.json -o BENCH_PR3.json
+//	benchjson compare old.json new.json -threshold 10%
 //
 // Lines that are not benchmark results (package headers, PASS/ok trailers)
 // are ignored. The optional -baseline file embeds reference numbers from an
 // earlier PR so one artifact carries both before and after.
+//
+// compare diffs the benchmarks the two records share (old first) and exits
+// nonzero when any regresses beyond the thresholds: -threshold bounds the
+// ns/op growth and -allocs-threshold the allocs/op growth (both accept
+// "10%" or a plain percent number; allocations additionally get a flat
+// +2 allocs/op of slack, so pool-warmup jitter on tiny counts does not
+// trip the gate). ns/op only gates order-of-magnitude noise when the
+// records come from machines of different speeds — allocs/op is the
+// machine-independent signal, which is why it has its own, tighter knob.
+// Flags may come before or after the file arguments. Records in either the
+// report or the baseline shape are accepted.
 package main
 
 import (
@@ -50,6 +63,13 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompare(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
 	baselinePath := flag.String("baseline", "", "embed this baseline JSON file in the report")
 	flag.Parse()

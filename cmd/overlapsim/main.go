@@ -9,10 +9,19 @@
 //	overlapsim study -app <name> [-ranks N -size N -iters N -chunks N]
 //	                 [-pattern real|linear] [-width N] [platform flags]
 //	overlapsim sweep -apps <a,b,...> [-ranks N,...] [-bws BW,...] [-chunks N,...]
-//	                 [-mechs M,...] [-patterns P,...] [-size N] [-iters N]
+//	                 [-mechs M,...] [-patterns P,...]
+//	                 [-latencies D,...] [-buscounts N,...] [-rpns N,...]
+//	                 [-eagers B,...] [-colls log,linear]
+//	                 [-size N] [-iters N]
 //	                 [-workers N] [-format table|csv|json] [-o file]
-//	                 [-shard k/N] [-cache-dir dir] [-progress] [platform flags]
+//	                 [-shard k/N] [-cache-dir dir] [-progress] [-stream]
+//	                 [platform flags]
 //	overlapsim merge [-format table|csv|json] [-o file] <shard.json> ...
+//
+// Axis flags are repeatable: -latencies 5us,20us and -latencies 5us
+// -latencies 20us declare the same axis. The platform axes (latencies,
+// buscounts, rpns, eagers, colls) are replay-only: every platform point
+// shares one instrumented run per (app, ranks, chunks) workload.
 package main
 
 import (
@@ -22,8 +31,6 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 
 	"overlapsim"
@@ -205,12 +212,7 @@ func runStudy(args []string) error {
 // -cache-dir instrumented runs are shared across processes.
 func runSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	appsFlag := fs.String("apps", "", "comma-separated applications to sweep (required; see overlapsim list)")
-	ranksFlag := fs.String("ranks", "", "comma-separated rank counts (0 or empty = app default)")
-	bwsFlag := fs.String("bws", "", "comma-separated bandwidth axis (e.g. 64MB/s,256MB/s,1GB/s); empty = base platform bandwidth")
-	chunksFlag := fs.String("chunks", "", "comma-separated chunk granularities (empty = 8)")
-	mechsFlag := fs.String("mechs", "", "comma-separated mechanism sets: none, earlysend, laterecv, both, prepost combos with + (empty = both)")
-	patternsFlag := fs.String("patterns", "", "comma-separated patterns: real, linear (empty = linear)")
+	axes := cliflag.RegisterSweepAxes(fs)
 	size := fs.Int("size", 0, "problem size for every app (0 = app default)")
 	iters := fs.Int("iters", 0, "iterations for every app (0 = app default)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = one per CPU); results are identical for any value")
@@ -219,6 +221,7 @@ func runSweep(args []string, stdout io.Writer) error {
 	shardFlag := fs.String("shard", "", "run only shard k/N of the grid (e.g. 1/2) and write a shard file for overlapsim merge")
 	cacheDir := fs.String("cache-dir", "", "persistent trace cache directory shared by repeated sweeps and sibling shards")
 	progress := fs.Bool("progress", false, "report completed/total points to stderr as the sweep runs")
+	stream := fs.Bool("stream", false, "print completed points to stderr as they finish (completion order, unordered); the final output stays in grid order")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -235,20 +238,8 @@ func runSweep(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	grid := sweep.Grid{Apps: splitList(*appsFlag)}
-	if grid.Ranks, err = parseIntList(*ranksFlag, "ranks"); err != nil {
-		return err
-	}
-	if grid.Bandwidths, err = parseBandwidthList(*bwsFlag); err != nil {
-		return err
-	}
-	if grid.Chunks, err = parseIntList(*chunksFlag, "chunks"); err != nil {
-		return err
-	}
-	if grid.Mechanisms, err = parseMechanismList(*mechsFlag); err != nil {
-		return err
-	}
-	if grid.Patterns, err = parsePatternList(*patternsFlag); err != nil {
+	grid, err := axes.Grid()
+	if err != nil {
 		return err
 	}
 	if err := grid.Validate(); err != nil {
@@ -293,13 +284,33 @@ func runSweep(args []string, stdout io.Writer) error {
 			shard, len(indices), total, runner.Engine.WorkerCount())
 	}
 
+	// Streaming prints each point's result to stderr the moment it
+	// completes — in completion order, explicitly unordered — while the
+	// final stdout/-o output keeps the byte-identical grid order. Emit
+	// calls are serialized, so the plain counter is safe.
+	var emit func(index int, res sweep.Result)
+	streamed := 0
+	if *stream {
+		fmt.Fprintf(os.Stderr, "sweep: streaming completed points in completion order (unordered; final output stays in grid order)\n")
+		emit = func(index int, res sweep.Result) {
+			streamed++
+			fmt.Fprintf(os.Stderr, "sweep: done [%d/%d] point %d: %s: %.3fx (T %s -> %s)\n",
+				streamed, len(indices), index, res.Point,
+				res.Speedup, units.Duration(res.TOriginal), units.Duration(res.TOverlap))
+		}
+	}
+
 	// An interrupt (Ctrl-C) or SIGTERM cancels the sweep: claimed points
-	// finish, no new ones start, and no partial output file is written.
+	// finish (and still reach the -stream output), no new ones start, and
+	// no partial output file is written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	results, err := runner.RunIndicesContext(ctx, grid, indices)
+	results, err := runner.RunIndicesStreamContext(ctx, grid, indices, emit)
 	if err != nil {
 		if ctx.Err() != nil {
+			if *stream {
+				fmt.Fprintf(os.Stderr, "sweep: interrupted; %d finished points were streamed above\n", streamed)
+			}
 			return fmt.Errorf("interrupted: %w", err)
 		}
 		return err
@@ -307,6 +318,9 @@ func runSweep(args []string, stdout io.Writer) error {
 	if err := runner.CacheStoreErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: warning: trace cache not updated (next run will re-trace): %v\n", err)
 	}
+	st := runner.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits\n",
+		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits)
 
 	if !shard.IsZero() {
 		sig := sweep.Signature(grid, cfg, *size, *iters)
@@ -374,79 +388,4 @@ func writeOutput(stdout io.Writer, path string, write func(io.Writer) error) err
 	// A failed close can mean a failed flush: report it, never exit 0
 	// with a truncated results file.
 	return file.Close()
-}
-
-// splitList splits a comma-separated flag value, dropping empty elements.
-func splitList(s string) []string {
-	var items []string
-	for _, item := range strings.Split(s, ",") {
-		if item = strings.TrimSpace(item); item != "" {
-			items = append(items, item)
-		}
-	}
-	return items
-}
-
-func parseIntList(s, name string) ([]int, error) {
-	var out []int
-	for _, item := range splitList(s) {
-		n, err := strconv.Atoi(item)
-		if err != nil {
-			return nil, fmt.Errorf("bad -%s element %q: %w", name, item, err)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func parseBandwidthList(s string) ([]units.Bandwidth, error) {
-	var out []units.Bandwidth
-	for _, item := range splitList(s) {
-		bw, err := units.ParseBandwidth(item)
-		if err != nil {
-			return nil, fmt.Errorf("bad -bws element: %w", err)
-		}
-		out = append(out, bw)
-	}
-	return out, nil
-}
-
-func parseMechanismList(s string) ([]overlap.Mechanism, error) {
-	var out []overlap.Mechanism
-	for _, item := range splitList(s) {
-		var m overlap.Mechanism
-		for _, part := range strings.Split(item, "+") {
-			switch strings.TrimSpace(part) {
-			case "none", "":
-				// no bits
-			case "earlysend":
-				m |= overlap.EarlySend
-			case "laterecv":
-				m |= overlap.LateRecv
-			case "both":
-				m |= overlap.BothMechanisms
-			case "prepost":
-				m |= overlap.PrepostRecv
-			default:
-				return nil, fmt.Errorf("bad -mechs element %q (want none, earlysend, laterecv, both, prepost, or + combos)", item)
-			}
-		}
-		out = append(out, m)
-	}
-	return out, nil
-}
-
-func parsePatternList(s string) ([]overlap.Pattern, error) {
-	var out []overlap.Pattern
-	for _, item := range splitList(s) {
-		switch item {
-		case "real":
-			out = append(out, overlap.PatternReal)
-		case "linear":
-			out = append(out, overlap.PatternLinear)
-		default:
-			return nil, fmt.Errorf("bad -patterns element %q (want real or linear)", item)
-		}
-	}
-	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"overlapsim/internal/cliflag"
 	"overlapsim/internal/overlap"
 )
 
@@ -202,6 +203,116 @@ func TestRunSweepCacheDirWarm(t *testing.T) {
 	}
 }
 
+// TestRunSweepPlatformAxes drives the new axis flags end to end: a
+// latencies x buscounts x colls grid over one app, with the dynamic CSV
+// columns present and one row per platform point.
+func TestRunSweepPlatformAxes(t *testing.T) {
+	var out bytes.Buffer
+	err := runSweep([]string{
+		"-apps", "pingpong", "-size", "512", "-iters", "2", "-format", "csv",
+		"-latencies", "5us,50us", "-buscounts", "1,8", "-colls", "log,linear",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("want header + 8 rows, got %d lines:\n%s", len(lines), out.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"latency_ns", "buses", "collective"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("CSV header %q missing %q", header, col)
+		}
+	}
+	if !strings.Contains(lines[1], ",5000,1,log,") {
+		t.Errorf("first row missing platform values: %q", lines[1])
+	}
+}
+
+// TestRunSweepRepeatableAxisFlags: repeating an axis flag appends, so the
+// repeated form expands the same grid as the comma form.
+func TestRunSweepRepeatableAxisFlags(t *testing.T) {
+	var comma, repeated bytes.Buffer
+	base := []string{"-apps", "pingpong", "-size", "512", "-iters", "2", "-format", "csv"}
+	if err := runSweep(append(append([]string{}, base...), "-latencies", "5us,50us"), &comma); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append(append([]string{}, base...), "-latencies", "5us", "-latencies", "50us"), &repeated); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(comma.Bytes(), repeated.Bytes()) {
+		t.Errorf("repeated flags differ from comma form:\n%s\n---\n%s", comma.String(), repeated.String())
+	}
+}
+
+func TestRunSweepPlatformAxisErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := runSweep([]string{"-apps", "pingpong", "-latencies", "soon"}, &sink); err == nil {
+		t.Error("bad latency: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-colls", "magic"}, &sink); err == nil {
+		t.Error("bad collective model: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-rpns", "0"}, &sink); err == nil {
+		t.Error("rpn 0: expected error")
+	}
+	if err := runSweep([]string{"-apps", "pingpong", "-buscounts", "-1"}, &sink); err == nil {
+		t.Error("negative bus count: expected error")
+	}
+}
+
+// TestRunSweepPlatformShardMerge: the acceptance path — a platform-axes
+// sweep sharded 2 ways with a shared cache merges byte-identically to the
+// unsharded run.
+func TestRunSweepPlatformShardMerge(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	args := []string{
+		"-apps", "pingpong", "-size", "512", "-iters", "2",
+		"-latencies", "5us,50us", "-buscounts", "1,8",
+	}
+
+	var unsharded bytes.Buffer
+	if err := runSweep(append([]string{"-format", "csv"}, args...), &unsharded); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for k := 1; k <= 2; k++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.json", k))
+		var stdout bytes.Buffer
+		sargs := append([]string{"-shard", fmt.Sprintf("%d/2", k), "-cache-dir", cache, "-o", path}, args...)
+		if err := runSweep(sargs, &stdout); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	var merged bytes.Buffer
+	if err := runMerge(append([]string{"-format", "csv"}, paths...), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unsharded.Bytes(), merged.Bytes()) {
+		t.Errorf("merged platform-axes shards differ from unsharded run:\n%s\n---\n%s",
+			unsharded.String(), merged.String())
+	}
+}
+
+// TestRunSweepStreamKeepsStdoutClean: -stream reports to stderr only, so
+// the final stdout output stays byte-identical.
+func TestRunSweepStreamKeepsStdoutClean(t *testing.T) {
+	var plain, streamed bytes.Buffer
+	args := []string{"-apps", "pingpong", "-size", "256", "-iters", "1", "-format", "csv"}
+	if err := runSweep(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-stream"}, args...), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), streamed.Bytes()) {
+		t.Errorf("-stream perturbed stdout:\n%s\n---\n%s", plain.String(), streamed.String())
+	}
+}
+
 func TestRunSweepProgressKeepsStdoutClean(t *testing.T) {
 	var plain, progress bytes.Buffer
 	args := []string{"-apps", "pingpong", "-size", "256", "-iters", "1", "-format", "csv"}
@@ -237,7 +348,7 @@ func TestRunMergeErrors(t *testing.T) {
 }
 
 func TestParseMechanismCombos(t *testing.T) {
-	ms, err := parseMechanismList("none,earlysend,laterecv,both,both+prepost")
+	ms, err := cliflag.ParseMechanisms([]string{"none", "earlysend", "laterecv", "both", "both+prepost"})
 	if err != nil {
 		t.Fatal(err)
 	}

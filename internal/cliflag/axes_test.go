@@ -1,0 +1,146 @@
+package cliflag
+
+import (
+	"flag"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/sweep"
+	"overlapsim/internal/units"
+)
+
+func parseAxes(t *testing.T, args ...string) (sweep.Grid, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	a := RegisterSweepAxes(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return a.Grid()
+}
+
+func TestSweepAxesGrid(t *testing.T) {
+	g, err := parseAxes(t,
+		"-apps", "pingpong,bt",
+		"-ranks", "0,4",
+		"-bws", "64MB/s,1GB/s",
+		"-chunks", "4,8",
+		"-mechs", "earlysend,both",
+		"-patterns", "real,linear",
+		"-latencies", "5us,50us",
+		"-buscounts", "0,8",
+		"-rpns", "1,4",
+		"-eagers", "0,32KB",
+		"-colls", "log,linear",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Apps) != 2 || g.Apps[0] != "pingpong" {
+		t.Errorf("Apps = %v", g.Apps)
+	}
+	if len(g.Ranks) != 2 || g.Ranks[1] != 4 {
+		t.Errorf("Ranks = %v", g.Ranks)
+	}
+	if len(g.Bandwidths) != 2 || g.Bandwidths[1] != units.GBPerSec {
+		t.Errorf("Bandwidths = %v", g.Bandwidths)
+	}
+	if len(g.Latencies) != 2 || g.Latencies[0] != 5*units.Microsecond {
+		t.Errorf("Latencies = %v", g.Latencies)
+	}
+	if len(g.Buses) != 2 || g.Buses[0] != 0 || g.Buses[1] != 8 {
+		t.Errorf("Buses = %v", g.Buses)
+	}
+	if len(g.RanksPerNode) != 2 || g.RanksPerNode[1] != 4 {
+		t.Errorf("RanksPerNode = %v", g.RanksPerNode)
+	}
+	if len(g.EagerThresholds) != 2 || g.EagerThresholds[1] != 32*units.KB {
+		t.Errorf("EagerThresholds = %v", g.EagerThresholds)
+	}
+	if len(g.Collectives) != 2 || g.Collectives[1] != machine.CollLinear {
+		t.Errorf("Collectives = %v", g.Collectives)
+	}
+	if len(g.Mechanisms) != 2 || g.Mechanisms[0] != overlap.EarlySend {
+		t.Errorf("Mechanisms = %v", g.Mechanisms)
+	}
+	if len(g.Patterns) != 2 || g.Patterns[0] != overlap.PatternReal {
+		t.Errorf("Patterns = %v", g.Patterns)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("parsed grid must validate: %v", err)
+	}
+}
+
+// TestSweepAxesRepeatable: repeating a flag appends to the axis, and mixes
+// with the comma form.
+func TestSweepAxesRepeatable(t *testing.T) {
+	g, err := parseAxes(t,
+		"-apps", "pingpong",
+		"-latencies", "5us", "-latencies", "20us,50us",
+		"-bws", "64MB/s", "-bws", "256MB/s",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Duration{5 * units.Microsecond, 20 * units.Microsecond, 50 * units.Microsecond}
+	if len(g.Latencies) != len(want) {
+		t.Fatalf("Latencies = %v, want %v", g.Latencies, want)
+	}
+	for i := range want {
+		if g.Latencies[i] != want[i] {
+			t.Fatalf("Latencies = %v, want %v", g.Latencies, want)
+		}
+	}
+	if len(g.Bandwidths) != 2 {
+		t.Fatalf("Bandwidths = %v", g.Bandwidths)
+	}
+}
+
+func TestSweepAxesBadElements(t *testing.T) {
+	cases := [][]string{
+		{"-ranks", "two"},
+		{"-bws", "fast"},
+		{"-chunks", "many"},
+		{"-mechs", "psychic"},
+		{"-patterns", "diagonal"},
+		{"-latencies", "soon"},
+		{"-buscounts", "several"},
+		{"-rpns", "a"},
+		{"-eagers", "big"},
+		{"-colls", "magic"},
+	}
+	for _, args := range cases {
+		if _, err := parseAxes(t, append([]string{"-apps", "pingpong"}, args...)...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+// TestSweepAxesEagerAll: the "all" token maps to the machine model's
+// negative-threshold "every message eager" convention.
+func TestSweepAxesEagerAll(t *testing.T) {
+	g, err := parseAxes(t, "-apps", "pingpong", "-eagers", "all,0,32KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Bytes{-1, 0, 32 * units.KB}
+	if len(g.EagerThresholds) != len(want) {
+		t.Fatalf("EagerThresholds = %v, want %v", g.EagerThresholds, want)
+	}
+	for i := range want {
+		if g.EagerThresholds[i] != want[i] {
+			t.Fatalf("EagerThresholds = %v, want %v", g.EagerThresholds, want)
+		}
+	}
+}
+
+func TestSweepAxesEmpty(t *testing.T) {
+	g, err := parseAxes(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Apps) != 0 || len(g.Latencies) != 0 || len(g.Collectives) != 0 {
+		t.Errorf("empty flags must build an empty grid: %+v", g)
+	}
+}

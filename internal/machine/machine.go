@@ -29,6 +29,22 @@ const (
 	CollLinear
 )
 
+// ParseCollectiveModel parses a collective cost-model name as printed by
+// CollectiveModel.String: "log" or "linear".
+func ParseCollectiveModel(s string) (CollectiveModel, error) {
+	switch s {
+	case "log":
+		return CollLog, nil
+	case "linear":
+		return CollLinear, nil
+	default:
+		return 0, fmt.Errorf("machine: unknown collective model %q (want log or linear)", s)
+	}
+}
+
+// Valid reports whether the value names a known collective model.
+func (m CollectiveModel) Valid() bool { return m == CollLog || m == CollLinear }
+
 // String names the model.
 func (m CollectiveModel) String() string {
 	switch m {

@@ -1,10 +1,16 @@
 // Package sweep is the parameter-sweep subsystem: it expands a declarative
 // grid of simulation configurations (application × ranks × bandwidth ×
-// chunk granularity × overlap mechanism × pattern) into independent jobs,
-// fans them out over a bounded worker pool, and merges the results in
-// stable point order. This is the methodology of the source paper at
-// scale: trace an application once, then replay it across many platform
-// configurations to map speedup and iso-performance curves.
+// platform axes × chunk granularity × overlap mechanism × pattern) into
+// independent jobs, fans them out over a bounded worker pool, and merges
+// the results in stable point order. This is the methodology of the
+// source paper at scale: trace an application once, then replay it across
+// many platform configurations to map speedup and iso-performance curves.
+//
+// The platform axes — Latencies, Buses, RanksPerNode, EagerThresholds,
+// Collectives — span the rest of the machine model. Each grid point
+// carries a PlatformOverlay the Runner applies to the base machine
+// config; the axes are replay-only, so a platform grid of any width
+// shares one instrumented run per (app, ranks, chunks) workload.
 //
 // # Determinism contract
 //
@@ -14,7 +20,9 @@
 // reported in point order — so the output of a sweep is byte-identical
 // regardless of the worker count, the shard split, or which caches were
 // warm. Everything below is an optimization that must not (and, by test,
-// does not) change a single output byte.
+// does not) change a single output byte. StreamContext and the Runner's
+// Run*Stream variants additionally deliver each result as it completes
+// (unordered, serialized) without touching the ordered final output.
 //
 // # The work-avoidance layers
 //

@@ -49,11 +49,25 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 }
 
 // MapContext runs fn(i) for every i in [0, n) on the engine's worker pool
-// and returns the results in index order. fn must be safe for concurrent
-// use and deterministic in i for the worker-count invariance guarantee to
-// hold.
+// and returns the results in index order. It is StreamContext without
+// incremental delivery.
+func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return StreamContext(ctx, e, n, fn, nil)
+}
+
+// StreamContext runs fn(i) for every i in [0, n) on the engine's worker
+// pool and returns the results in index order. fn must be safe for
+// concurrent use and deterministic in i for the worker-count invariance
+// guarantee to hold.
 //
-// On failure MapContext returns a *JobError wrapping the error of the
+// emit, when non-nil, additionally receives each successful result the
+// moment its job completes — in completion order, which is unordered
+// across indices and depends on the worker count. Emit calls are
+// serialized (an emit callback needs no locking of its own) and happen
+// before the Progress callback observes the completion. The final ordered
+// result slice is assembled independently, so streaming never perturbs it.
+//
+// On failure StreamContext returns a *JobError wrapping the error of the
 // lowest failing index. Jobs not yet claimed when a failure is observed
 // are skipped; jobs already claimed run to completion. Because workers
 // claim indices in ascending order, every index below the lowest failing
@@ -62,10 +76,11 @@ func Map[T any](e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 // first.
 //
 // Cancelling the context stops the sweep promptly: no new jobs are
-// claimed, already-claimed jobs run to completion, and MapContext returns
-// ctx.Err() with no results. Cancellation takes precedence over job
-// failures observed in the same window.
-func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+// claimed, already-claimed jobs run to completion — and still reach emit,
+// so an interrupted caller keeps everything that actually finished — and
+// StreamContext returns ctx.Err() with no results. Cancellation takes
+// precedence over job failures observed in the same window.
+func StreamContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error), emit func(i int, v T)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -74,16 +89,21 @@ func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, 
 		workers = n
 	}
 	out := make([]T, n)
-	var progMu sync.Mutex
+	var mu sync.Mutex
 	completed := 0
-	report := func() {
-		if e.Progress == nil {
+	deliver := func(i int, v T) {
+		if emit == nil && e.Progress == nil {
 			return
 		}
-		progMu.Lock()
+		mu.Lock()
+		if emit != nil {
+			emit(i, v)
+		}
 		completed++
-		e.Progress(completed, n)
-		progMu.Unlock()
+		if e.Progress != nil {
+			e.Progress(completed, n)
+		}
+		mu.Unlock()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -95,7 +115,7 @@ func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, 
 				return nil, &JobError{Index: i, Err: err}
 			}
 			out[i] = v
-			report()
+			deliver(i, v)
 		}
 		// Mirror the parallel path: a cancellation that lands during the
 		// final job still voids the run, so the outcome never depends on
@@ -132,7 +152,7 @@ func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, 
 					return
 				}
 				out[i] = v
-				report()
+				deliver(i, v)
 			}
 		}()
 	}

@@ -5,12 +5,65 @@ import (
 	"strings"
 
 	"overlapsim/internal/apps"
+	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/units"
 )
 
+// PlatformOverlay is the platform-side part of a Point: the fields of the
+// machine model a grid can sweep beyond bandwidth. Every axis pairs a value
+// with a set flag so that the zero overlay means "replay on the base
+// platform unchanged" while zero stays a legal swept value (0 buses = no
+// contention, 0 eager threshold = every message rendezvous, collective
+// model 0 = log). Overlays are plain comparable values, so Points remain
+// usable as map keys and in equality tests.
+type PlatformOverlay struct {
+	// Latency overrides the base platform's remote message latency.
+	Latency    units.Duration
+	LatencySet bool
+	// Buses overrides the shared bus count (0 disables contention).
+	Buses    int
+	BusesSet bool
+	// RanksPerNode overrides the SMP placement; the runner re-derives the
+	// node count so the platform still hosts the traced ranks.
+	RanksPerNode    int
+	RanksPerNodeSet bool
+	// EagerThreshold overrides the eager/rendezvous protocol switch
+	// (0 = every message rendezvous, negative = every message eager).
+	EagerThreshold units.Bytes
+	EagerSet       bool
+	// Collective overrides the collective cost-model family.
+	Collective    machine.CollectiveModel
+	CollectiveSet bool
+}
+
+// IsZero reports whether the overlay leaves the base platform untouched.
+func (o PlatformOverlay) IsZero() bool { return o == PlatformOverlay{} }
+
+// Apply returns the base platform with every set axis overridden.
+func (o PlatformOverlay) Apply(m machine.Config) machine.Config {
+	if o.LatencySet {
+		m.Latency = o.Latency
+	}
+	if o.BusesSet {
+		m.Buses = o.Buses
+	}
+	if o.RanksPerNodeSet {
+		m.RanksPerNode = o.RanksPerNode
+	}
+	if o.EagerSet {
+		m.EagerThreshold = o.EagerThreshold
+	}
+	if o.CollectiveSet {
+		m.Collectives = o.Collective
+	}
+	return m
+}
+
 // Point is one simulation configuration: which application to replay, at
-// what scale, on what network, with which overlap transformation.
+// what scale, on what platform, with which overlap transformation. The
+// platform is the runner's base config plus the point's Bandwidth and
+// Platform overlay.
 type Point struct {
 	// App names a bundled application (apps.Names lists them).
 	App string
@@ -26,6 +79,10 @@ type Point struct {
 	Mechanisms overlap.Mechanism
 	// Pattern selects measured (real) or ideal (linear) patterns.
 	Pattern overlap.Pattern
+	// Platform carries the swept platform axes beyond bandwidth. The zero
+	// overlay keeps the base platform, so pre-platform-axis Points behave
+	// exactly as before.
+	Platform PlatformOverlay
 }
 
 // Options returns the overlap transformation the point requests.
@@ -34,21 +91,48 @@ func (p Point) Options() overlap.Options {
 }
 
 // String is a compact stable label, e.g. "bt r4 c8 256.0MB/s both linear".
-func (p Point) String() string {
+// Swept platform axes append "key=value" suffixes (via the shared axis
+// column table, so every consumer labels them identically); points without
+// an overlay render byte-identically to earlier releases, which keeps
+// sweep signatures stable.
+func (p Point) String() string { return p.label(false) }
+
+// signatureLabel is String with the overlay rendered losslessly: the
+// sweep signature must distinguish any two overlay values, while the
+// human label may round them to the same string (1.000ms hides a 400ns
+// difference). The pre-overlay fields — including the bandwidth axis —
+// keep their historical human rendering: changing them would re-sign
+// every existing sweep and orphan mid-campaign shard sets, so their
+// (coarse, ~0.4%-granularity) rounding is accepted as part of the v1
+// signature format. Points without an overlay render byte-identically to
+// String, so pre-platform-axis signatures are unaffected.
+func (p Point) signatureLabel() string { return p.label(true) }
+
+func (p Point) label(exact bool) string {
 	bw := "base-bw"
 	if p.Bandwidth >= 0 {
 		bw = p.Bandwidth.String()
 	}
-	ranks := "rdefault"
-	if p.Ranks > 0 {
-		ranks = fmt.Sprintf("r%d", p.Ranks)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s r%s c%d %s %s %s", p.App, ranksLabel(p.Ranks), p.Chunks, bw, p.Mechanisms, p.Pattern)
+	for _, c := range overlayColumns {
+		if c.set(p) {
+			value := c.human
+			if exact {
+				value = c.exact
+			}
+			fmt.Fprintf(&b, " %s=%s", c.label, value(p))
+		}
 	}
-	return fmt.Sprintf("%s %s c%d %s %s %s", p.App, ranks, p.Chunks, bw, p.Mechanisms, p.Pattern)
+	return b.String()
 }
 
 // Grid declares a parameter sweep as the cross product of its axes. Empty
 // axes collapse to a single default value, so the zero Grid plus one app is
-// already a runnable one-point sweep.
+// already a runnable one-point sweep. The platform axes (Latencies, Buses,
+// RanksPerNode, EagerThresholds, Collectives) change only the replay, never
+// the trace: a grid over them re-traces each (app, ranks, chunks) workload
+// once and replays it per platform.
 type Grid struct {
 	Apps       []string
 	Ranks      []int             // 0 = app default
@@ -56,6 +140,13 @@ type Grid struct {
 	Chunks     []int
 	Mechanisms []overlap.Mechanism
 	Patterns   []overlap.Pattern
+
+	// Platform axes; an empty axis keeps the base platform's value.
+	Latencies       []units.Duration
+	Buses           []int // 0 = no contention
+	RanksPerNode    []int
+	EagerThresholds []units.Bytes // 0 = all rendezvous, negative = all eager
+	Collectives     []machine.CollectiveModel
 }
 
 // DefaultChunks is the granularity used when the Chunks axis is empty,
@@ -67,8 +158,9 @@ const DefaultChunks = 8
 // infinitely fast.
 const BaseBandwidth units.Bandwidth = -1
 
-// normalized returns the grid with every empty axis replaced by its
-// single-value default.
+// normalized returns the grid with every empty app-side axis replaced by
+// its single-value default. Platform axes have no default value to fill
+// in: an empty platform axis contributes a single unset overlay field.
 func (g Grid) normalized() Grid {
 	if len(g.Ranks) == 0 {
 		g.Ranks = []int{0}
@@ -88,15 +180,26 @@ func (g Grid) normalized() Grid {
 	return g
 }
 
+// axisLen is the number of points an axis contributes to the cross product.
+func axisLen(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
 // Size returns the number of points the grid expands to.
 func (g Grid) Size() int {
 	g = g.normalized()
 	return len(g.Apps) * len(g.Ranks) * len(g.Bandwidths) * len(g.Chunks) *
-		len(g.Mechanisms) * len(g.Patterns)
+		len(g.Mechanisms) * len(g.Patterns) *
+		axisLen(len(g.Latencies)) * axisLen(len(g.Buses)) * axisLen(len(g.RanksPerNode)) *
+		axisLen(len(g.EagerThresholds)) * axisLen(len(g.Collectives))
 }
 
 // Validate rejects grids that cannot run: no application, unknown
-// application names, or out-of-range chunk counts.
+// application names, out-of-range chunk counts, or platform axis values
+// the machine model rejects.
 func (g Grid) Validate() error {
 	if len(g.Apps) == 0 {
 		return fmt.Errorf("sweep: grid has no applications (have %s)", strings.Join(apps.Names(), ", "))
@@ -116,29 +219,97 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: negative rank count %d", r)
 		}
 	}
+	for _, l := range g.Latencies {
+		if l < 0 {
+			return fmt.Errorf("sweep: negative latency %v on the latency axis", l)
+		}
+	}
+	for _, b := range g.Buses {
+		if b < 0 {
+			return fmt.Errorf("sweep: negative bus count %d on the buses axis", b)
+		}
+	}
+	for _, r := range g.RanksPerNode {
+		if r < 1 {
+			return fmt.Errorf("sweep: ranks-per-node %d out of range (want >= 1)", r)
+		}
+	}
+	for _, cm := range g.Collectives {
+		if !cm.Valid() {
+			return fmt.Errorf("sweep: unknown collective model %v on the collectives axis", cm)
+		}
+	}
 	return nil
 }
 
-// Expand enumerates the cross product in stable nested order (apps
-// outermost, patterns innermost). The order defines the point indices that
-// the engine, the results, and error reporting all share.
+// platformOverlays expands the platform axes into their cross product, in
+// stable order: latencies outermost, then buses, ranks-per-node, eager
+// thresholds, collectives. Empty axes contribute a single unset field, so
+// a grid without platform axes yields exactly one zero overlay.
+func (g Grid) platformOverlays() []PlatformOverlay {
+	out := []PlatformOverlay{{}}
+	cross := func(n int, apply func(PlatformOverlay, int) PlatformOverlay) {
+		if n == 0 {
+			return
+		}
+		next := make([]PlatformOverlay, 0, len(out)*n)
+		for _, o := range out {
+			for i := 0; i < n; i++ {
+				next = append(next, apply(o, i))
+			}
+		}
+		out = next
+	}
+	cross(len(g.Latencies), func(o PlatformOverlay, i int) PlatformOverlay {
+		o.Latency, o.LatencySet = g.Latencies[i], true
+		return o
+	})
+	cross(len(g.Buses), func(o PlatformOverlay, i int) PlatformOverlay {
+		o.Buses, o.BusesSet = g.Buses[i], true
+		return o
+	})
+	cross(len(g.RanksPerNode), func(o PlatformOverlay, i int) PlatformOverlay {
+		o.RanksPerNode, o.RanksPerNodeSet = g.RanksPerNode[i], true
+		return o
+	})
+	cross(len(g.EagerThresholds), func(o PlatformOverlay, i int) PlatformOverlay {
+		o.EagerThreshold, o.EagerSet = g.EagerThresholds[i], true
+		return o
+	})
+	cross(len(g.Collectives), func(o PlatformOverlay, i int) PlatformOverlay {
+		o.Collective, o.CollectiveSet = g.Collectives[i], true
+		return o
+	})
+	return out
+}
+
+// Expand enumerates the cross product in stable nested order: apps
+// outermost, then ranks, bandwidths, the platform axes (latencies, buses,
+// ranks-per-node, eager thresholds, collectives), chunks, mechanisms, and
+// patterns innermost. The order defines the point indices that the engine,
+// the results, the shard assignment and error reporting all share; grids
+// without platform axes expand exactly as before those axes existed.
 func (g Grid) Expand() []Point {
 	g = g.normalized()
+	overlays := g.platformOverlays()
 	pts := make([]Point, 0, g.Size())
 	for _, app := range g.Apps {
 		for _, ranks := range g.Ranks {
 			for _, bw := range g.Bandwidths {
-				for _, chunks := range g.Chunks {
-					for _, mech := range g.Mechanisms {
-						for _, pat := range g.Patterns {
-							pts = append(pts, Point{
-								App:        app,
-								Ranks:      ranks,
-								Bandwidth:  bw,
-								Chunks:     chunks,
-								Mechanisms: mech,
-								Pattern:    pat,
-							})
+				for _, ov := range overlays {
+					for _, chunks := range g.Chunks {
+						for _, mech := range g.Mechanisms {
+							for _, pat := range g.Patterns {
+								pts = append(pts, Point{
+									App:        app,
+									Ranks:      ranks,
+									Bandwidth:  bw,
+									Chunks:     chunks,
+									Mechanisms: mech,
+									Pattern:    pat,
+									Platform:   ov,
+								})
+							}
 						}
 					}
 				}

@@ -30,7 +30,10 @@ func ParseFormat(s string) (Format, error) {
 	}
 }
 
-// Write encodes the results in the given format.
+// Write encodes the results in the given format. Platform-axis columns are
+// dynamic: they appear (between the bandwidth and chunks columns) only when
+// the results sweep the axis, so output for grids without platform axes is
+// byte-identical to earlier releases.
 func Write(w io.Writer, f Format, results []Result) error {
 	switch f {
 	case FormatCSV:
@@ -42,24 +45,31 @@ func Write(w io.Writer, f Format, results []Result) error {
 	}
 }
 
-func ranksLabel(r int) string {
-	if r == 0 {
-		return "default"
-	}
-	return fmt.Sprint(r)
-}
-
 // WriteTable renders the results as the aligned text table the experiment
 // harness uses.
 func WriteTable(w io.Writer, results []Result) error {
-	tb := stats.NewTable("app", "ranks", "bandwidth", "chunks", "mechanisms", "pattern",
+	overlay := activeOverlayColumns(results)
+	header := []string{"app", "ranks", "bandwidth"}
+	for _, c := range overlay {
+		header = append(header, c.head)
+	}
+	header = append(header, "chunks", "mechanisms", "pattern",
 		"T-original", "T-overlap", "speedup", "blocked")
+	tb := stats.NewTable(header...)
 	for _, r := range results {
 		p := r.Point
-		tb.AddRow(p.App, ranksLabel(p.Ranks), r.Bandwidth.String(), fmt.Sprint(p.Chunks),
-			p.Mechanisms.String(), p.Pattern.String(),
+		row := []string{p.App, ranksLabel(p.Ranks), r.Bandwidth.String()}
+		for _, c := range overlay {
+			if c.set(p) {
+				row = append(row, c.human(p))
+			} else {
+				row = append(row, baseLabel)
+			}
+		}
+		row = append(row, fmt.Sprint(p.Chunks), p.Mechanisms.String(), p.Pattern.String(),
 			units.Duration(r.TOriginal).String(), units.Duration(r.TOverlap).String(),
 			fmt.Sprintf("%.3fx", r.Speedup), fmt.Sprintf("%.3f", r.Blocked))
+		tb.AddRow(row...)
 	}
 	return tb.Render(w)
 }
@@ -69,8 +79,13 @@ func WriteTable(w io.Writer, results []Result) error {
 // human-readable rendering.
 func WriteCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
-	header := []string{"app", "ranks", "bandwidth_bytes_per_sec", "chunks", "mechanisms",
-		"pattern", "t_original_ns", "t_overlap_ns", "speedup", "blocked_fraction", "des_steps"}
+	overlay := activeOverlayColumns(results)
+	header := []string{"app", "ranks", "bandwidth_bytes_per_sec"}
+	for _, c := range overlay {
+		header = append(header, c.csvHead)
+	}
+	header = append(header, "chunks", "mechanisms",
+		"pattern", "t_original_ns", "t_overlap_ns", "speedup", "blocked_fraction", "des_steps")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -80,6 +95,15 @@ func WriteCSV(w io.Writer, results []Result) error {
 			p.App,
 			fmt.Sprint(p.Ranks),
 			fmt.Sprintf("%.0f", float64(r.Bandwidth)),
+		}
+		for _, c := range overlay {
+			if c.set(p) {
+				rec = append(rec, c.exact(p))
+			} else {
+				rec = append(rec, baseLabel)
+			}
+		}
+		rec = append(rec,
 			fmt.Sprint(p.Chunks),
 			p.Mechanisms.String(),
 			p.Pattern.String(),
@@ -88,7 +112,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			fmt.Sprintf("%.6f", r.Speedup),
 			fmt.Sprintf("%.6f", r.Blocked),
 			fmt.Sprint(r.Steps),
-		}
+		)
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -97,19 +121,26 @@ func WriteCSV(w io.Writer, results []Result) error {
 	return cw.Error()
 }
 
-// jsonResult is the stable JSON projection of a Result.
+// jsonResult is the stable JSON projection of a Result. The platform-axis
+// fields are emitted only when the point sweeps the axis, so grids without
+// platform axes keep their exact pre-platform-axis encoding.
 type jsonResult struct {
-	App       string  `json:"app"`
-	Ranks     int     `json:"ranks"`
-	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
-	Chunks    int     `json:"chunks"`
-	Mechanism string  `json:"mechanisms"`
-	Pattern   string  `json:"pattern"`
-	TOriginal int64   `json:"t_original_ns"`
-	TOverlap  int64   `json:"t_overlap_ns"`
-	Speedup   float64 `json:"speedup"`
-	Blocked   float64 `json:"blocked_fraction"`
-	Steps     int64   `json:"des_steps"`
+	App          string  `json:"app"`
+	Ranks        int     `json:"ranks"`
+	Bandwidth    float64 `json:"bandwidth_bytes_per_sec"`
+	Latency      *int64  `json:"latency_ns,omitempty"`
+	Buses        *int    `json:"buses,omitempty"`
+	RanksPerNode *int    `json:"ranks_per_node,omitempty"`
+	Eager        *int64  `json:"eager_threshold_bytes,omitempty"`
+	Collective   *string `json:"collective,omitempty"`
+	Chunks       int     `json:"chunks"`
+	Mechanism    string  `json:"mechanisms"`
+	Pattern      string  `json:"pattern"`
+	TOriginal    int64   `json:"t_original_ns"`
+	TOverlap     int64   `json:"t_overlap_ns"`
+	Speedup      float64 `json:"speedup"`
+	Blocked      float64 `json:"blocked_fraction"`
+	Steps        int64   `json:"des_steps"`
 }
 
 // WriteJSON encodes the results as an indented JSON array in point order.
@@ -129,6 +160,27 @@ func WriteJSON(w io.Writer, results []Result) error {
 			Speedup:   r.Speedup,
 			Blocked:   r.Blocked,
 			Steps:     r.Steps,
+		}
+		ov := p.Platform
+		if ov.LatencySet {
+			v := int64(ov.Latency)
+			out[i].Latency = &v
+		}
+		if ov.BusesSet {
+			v := ov.Buses
+			out[i].Buses = &v
+		}
+		if ov.RanksPerNodeSet {
+			v := ov.RanksPerNode
+			out[i].RanksPerNode = &v
+		}
+		if ov.EagerSet {
+			v := int64(ov.EagerThreshold)
+			out[i].Eager = &v
+		}
+		if ov.CollectiveSet {
+			v := ov.Collective.String()
+			out[i].Collective = &v
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -218,16 +218,24 @@ func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error)
 	return e, e.err
 }
 
-// machineFor applies the point's platform overrides to the base config. A
-// negative bandwidth (BaseBandwidth) keeps the base platform's; zero means
-// infinitely fast, following the machine model's convention.
-func (r *Runner) machineFor(p Point) machine.Config {
+// machineFor applies the point's platform overrides to the base config: the
+// bandwidth axis first (a negative value, BaseBandwidth, keeps the base
+// platform's; zero means infinitely fast, following the machine model's
+// convention), then the platform overlay. When the overlay re-places ranks
+// (RanksPerNode), the node count is re-derived from the traced rank count,
+// so an SMP axis packs the same ranks onto fewer nodes instead of failing
+// the capacity check.
+func (r *Runner) machineFor(p Point, nranks int) machine.Config {
 	m := r.Base
 	if m.Nodes == 0 {
 		m = machine.Default()
 	}
 	if p.Bandwidth >= 0 {
 		m = m.WithBandwidth(p.Bandwidth)
+	}
+	m = p.Platform.Apply(m)
+	if p.Platform.RanksPerNodeSet {
+		m = m.WithNodes(nranks)
 	}
 	return m
 }
@@ -243,7 +251,7 @@ func (r *Runner) RunPoint(p Point) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m := r.machineFor(p)
+	m := r.machineFor(p, ps.Original.NRanks())
 	orig, err := r.replayMemo(ps.Original, m)
 	if err != nil {
 		return Result{}, err
@@ -283,13 +291,25 @@ func (r *Runner) Run(g Grid) ([]Result, error) {
 // ctx.Err(). No partial results are returned, so callers cannot mistake an
 // interrupted sweep for a complete one.
 func (r *Runner) RunContext(ctx context.Context, g Grid) ([]Result, error) {
+	return r.RunStreamContext(ctx, g, nil)
+}
+
+// RunStreamContext is RunContext with incremental delivery: emit, when
+// non-nil, receives each point's result (with its expanded-point index)
+// the moment it completes — in completion order, unordered across indices.
+// Emit calls are serialized. The returned slice is still in expansion
+// order and byte-identical through the writers for any worker count, so
+// streaming consumers get partial answers early without giving up the
+// ordered final output. On cancellation, points that were already claimed
+// finish and still reach emit before RunStreamContext returns ctx.Err().
+func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index int, res Result)) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	pts := g.Expand()
-	return MapContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
+	return StreamContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
-	})
+	}, emit)
 }
 
 // RunIndices simulates only the given expanded-point indices of the grid —
@@ -303,6 +323,14 @@ func (r *Runner) RunIndices(g Grid, indices []int) ([]Result, error) {
 // RunIndicesContext is RunIndices with cancellation, following the
 // RunContext contract.
 func (r *Runner) RunIndicesContext(ctx context.Context, g Grid, indices []int) ([]Result, error) {
+	return r.RunIndicesStreamContext(ctx, g, indices, nil)
+}
+
+// RunIndicesStreamContext is RunIndicesContext with incremental delivery,
+// following the RunStreamContext contract. emit receives the expanded-point
+// index (indices[j], not j), so shard and unsharded streams label points
+// identically.
+func (r *Runner) RunIndicesStreamContext(ctx context.Context, g Grid, indices []int, emit func(index int, res Result)) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -312,9 +340,13 @@ func (r *Runner) RunIndicesContext(ctx context.Context, g Grid, indices []int) (
 			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d)", i, len(pts))
 		}
 	}
-	return MapContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
+	var emitGrid func(j int, res Result)
+	if emit != nil {
+		emitGrid = func(j int, res Result) { emit(indices[j], res) }
+	}
+	return StreamContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
 		return r.RunPoint(pts[indices[j]])
-	})
+	}, emitGrid)
 }
 
 // Result is the outcome of one grid point.

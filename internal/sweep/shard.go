@@ -94,7 +94,10 @@ func Signature(g Grid, base machine.Config, size, iters int) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "overlapsim-sweep-v1\n%+v\nsize=%d iters=%d\n", base, size, iters)
 	for _, p := range g.Expand() {
-		fmt.Fprintln(h, p.String())
+		// The lossless point label: the human rendering rounds (two
+		// latencies 400ns apart both print "1.000ms"), and rounding here
+		// would let merge combine shards replayed on different platforms.
+		fmt.Fprintln(h, p.signatureLabel())
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
@@ -117,12 +120,21 @@ type ShardFile struct {
 
 // shardPoint is one indexed result with every Point and Result field in
 // lossless form: times and sizes as exact integers, floats as Go's
-// shortest-round-trip JSON numbers, mechanisms and pattern as raw enums.
+// shortest-round-trip JSON numbers, mechanisms, pattern and collective
+// model as raw enums. Platform-overlay fields are pointers omitted when
+// the axis is not swept, so shard files of grids without platform axes
+// stay byte-identical to earlier releases (and older files read back with
+// an all-unset overlay).
 type shardPoint struct {
 	Index          int     `json:"index"`
 	App            string  `json:"app"`
 	Ranks          int     `json:"ranks"`
 	PointBandwidth float64 `json:"point_bandwidth"` // grid value; -1 = base platform
+	Latency        *int64  `json:"latency_ns,omitempty"`
+	Buses          *int    `json:"buses,omitempty"`
+	RanksPerNode   *int    `json:"ranks_per_node,omitempty"`
+	Eager          *int64  `json:"eager_threshold_bytes,omitempty"`
+	Collective     *uint8  `json:"collective,omitempty"`
 	Chunks         int     `json:"chunks"`
 	Mechanisms     int     `json:"mechanisms"`
 	Pattern        int     `json:"pattern"`
@@ -132,6 +144,53 @@ type shardPoint struct {
 	Speedup        float64 `json:"speedup"`
 	Blocked        float64 `json:"blocked_fraction"`
 	Steps          int64   `json:"des_steps"`
+}
+
+// setOverlay projects a point's platform overlay onto the shard
+// envelope's optional fields.
+func (sp *shardPoint) setOverlay(o PlatformOverlay) {
+	if o.LatencySet {
+		v := int64(o.Latency)
+		sp.Latency = &v
+	}
+	if o.BusesSet {
+		v := o.Buses
+		sp.Buses = &v
+	}
+	if o.RanksPerNodeSet {
+		v := o.RanksPerNode
+		sp.RanksPerNode = &v
+	}
+	if o.EagerSet {
+		v := int64(o.EagerThreshold)
+		sp.Eager = &v
+	}
+	if o.CollectiveSet {
+		v := uint8(o.Collective)
+		sp.Collective = &v
+	}
+}
+
+// overlay reconstructs the platform overlay from the envelope's optional
+// fields; absent fields stay unset.
+func (sp *shardPoint) overlay() PlatformOverlay {
+	var o PlatformOverlay
+	if sp.Latency != nil {
+		o.Latency, o.LatencySet = units.Duration(*sp.Latency), true
+	}
+	if sp.Buses != nil {
+		o.Buses, o.BusesSet = *sp.Buses, true
+	}
+	if sp.RanksPerNode != nil {
+		o.RanksPerNode, o.RanksPerNodeSet = *sp.RanksPerNode, true
+	}
+	if sp.Eager != nil {
+		o.EagerThreshold, o.EagerSet = units.Bytes(*sp.Eager), true
+	}
+	if sp.Collective != nil {
+		o.Collective, o.CollectiveSet = machine.CollectiveModel(*sp.Collective), true
+	}
+	return o
 }
 
 // WriteShard encodes one shard's results, where results[j] is the outcome
@@ -164,6 +223,7 @@ func WriteShard(w io.Writer, signature string, total int, shard Shard, indices [
 			Blocked:        r.Blocked,
 			Steps:          r.Steps,
 		}
+		sf.Points[j].setOverlay(p.Platform)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -234,6 +294,7 @@ func Merge(shards []*ShardFile) ([]Result, error) {
 					Chunks:     pt.Chunks,
 					Mechanisms: overlap.Mechanism(pt.Mechanisms),
 					Pattern:    overlap.Pattern(pt.Pattern),
+					Platform:   pt.overlay(),
 				},
 				Bandwidth: units.Bandwidth(pt.Bandwidth),
 				TOriginal: units.Time(pt.TOriginal),

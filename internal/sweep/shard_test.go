@@ -175,6 +175,138 @@ func TestMergeErrors(t *testing.T) {
 	}
 }
 
+// TestSignaturePlatformAxesGolden pins the sweep signature for the base
+// grid and for each platform axis added alone. Two properties are
+// load-bearing: the base-grid signature must never change for grids that
+// do not use the platform axes (or existing mid-campaign shard sets would
+// stop merging after an upgrade), and every platform axis must change it
+// (or merge would happily combine shards replayed on different platforms).
+func TestSignaturePlatformAxesGolden(t *testing.T) {
+	base := machine.Default()
+	g := Grid{Apps: []string{"pingpong"}, Chunks: []int{4, 8}}
+	sig := func(mod func(*Grid)) string {
+		v := g
+		mod(&v)
+		return Signature(v, base, 512, 2)
+	}
+	golden := []struct {
+		name string
+		mod  func(*Grid)
+		want string
+	}{
+		{"base", func(*Grid) {}, "ed2654fd75ae8db2"},
+		{"latencies", func(v *Grid) { v.Latencies = []units.Duration{5 * units.Microsecond} }, "5bf2b60aa4316c79"},
+		{"buses", func(v *Grid) { v.Buses = []int{4} }, "a993b5d5ac080970"},
+		{"ranks-per-node", func(v *Grid) { v.RanksPerNode = []int{2} }, "7f4a9d44c3f3eba4"},
+		{"eager", func(v *Grid) { v.EagerThresholds = []units.Bytes{32 * units.KB} }, "910d2dfccd2bab68"},
+		{"collectives", func(v *Grid) { v.Collectives = []machine.CollectiveModel{machine.CollLinear} }, "7ec8c0cd3e3d8e16"},
+	}
+	seen := map[string]string{}
+	for _, tc := range golden {
+		got := sig(tc.mod)
+		if got != tc.want {
+			t.Errorf("%s: signature %s, want pinned %s", tc.name, got, tc.want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s and %s share a signature; merge could mix their shards", tc.name, prev)
+		}
+		seen[got] = tc.name
+	}
+	// Changing a swept platform value must re-sign too, not just adding
+	// the axis.
+	if a, b := sig(func(v *Grid) { v.Latencies = []units.Duration{5 * units.Microsecond} }),
+		sig(func(v *Grid) { v.Latencies = []units.Duration{10 * units.Microsecond} }); a == b {
+		t.Error("latency value change did not change the signature")
+	}
+	// The signature uses lossless overlay labels: values whose *human*
+	// rendering collides (1000000ns and 1000400ns both print "1.000ms";
+	// 32768B and 32770B both print "32KB") replay on different platforms
+	// and must never share a signature.
+	if a, b := sig(func(v *Grid) { v.Latencies = []units.Duration{1000000} }),
+		sig(func(v *Grid) { v.Latencies = []units.Duration{1000400} }); a == b {
+		t.Error("sub-rounding latency difference did not change the signature")
+	}
+	if a, b := sig(func(v *Grid) { v.EagerThresholds = []units.Bytes{32768} }),
+		sig(func(v *Grid) { v.EagerThresholds = []units.Bytes{32770} }); a == b {
+		t.Error("sub-rounding eager-threshold difference did not change the signature")
+	}
+}
+
+// TestMergeRejectsPlatformAxisMismatch: shards from two sweeps that differ
+// only in a platform axis must not merge — the scenario the signature
+// exists to prevent, since both sweeps share apps, scale and every
+// pre-platform axis.
+func TestMergeRejectsPlatformAxisMismatch(t *testing.T) {
+	base := machine.Default()
+	g1 := Grid{Apps: []string{"pingpong"}, Latencies: []units.Duration{5 * units.Microsecond, 50 * units.Microsecond}}
+	g2 := Grid{Apps: []string{"pingpong"}, Latencies: []units.Duration{5 * units.Microsecond, 100 * units.Microsecond}}
+	mk := func(g Grid, k int) *ShardFile {
+		sh := Shard{K: k, N: 2}
+		sf := &ShardFile{
+			Version:   ShardFileVersion,
+			Signature: Signature(g, base, 512, 2),
+			Total:     g.Size(),
+			Shard:     sh.String(),
+		}
+		for _, i := range sh.Indices(g.Size()) {
+			sf.Points = append(sf.Points, shardPoint{Index: i, App: "pingpong"})
+		}
+		return sf
+	}
+	if _, err := Merge([]*ShardFile{mk(g1, 1), mk(g2, 2)}); err == nil ||
+		!strings.Contains(err.Error(), "signature") {
+		t.Errorf("merge across platform-axis mismatch: got %v, want signature error", err)
+	}
+	if _, err := Merge([]*ShardFile{mk(g1, 1), mk(g1, 2)}); err != nil {
+		t.Errorf("same-grid shards must merge: %v", err)
+	}
+}
+
+// TestShardFileOverlayRoundTrip: platform overlays survive the shard
+// envelope losslessly, and shard files of overlay-free sweeps do not
+// mention the optional platform fields at all (the byte-compat guarantee
+// for existing campaigns).
+func TestShardFileOverlayRoundTrip(t *testing.T) {
+	overlay := PlatformOverlay{
+		Latency: 5 * units.Microsecond, LatencySet: true,
+		Buses: 0, BusesSet: true, // zero values must round-trip as set
+		EagerThreshold: -1, EagerSet: true,
+		Collective: machine.CollLog, CollectiveSet: true,
+	}
+	res := Result{
+		Point: Point{App: "pingpong", Ranks: 4, Bandwidth: BaseBandwidth, Chunks: 8,
+			Mechanisms: overlap.BothMechanisms, Pattern: overlap.PatternLinear, Platform: overlay},
+		Bandwidth: 256, TOriginal: 100, TOverlap: 50, Speedup: 2, Blocked: 0.5, Steps: 10,
+	}
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, "sig", 1, Shard{1, 1}, []int{0}, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ReadShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge([]*ShardFile{sf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged[0] != res {
+		t.Fatalf("overlay lost in round trip:\n got %+v\nwant %+v", merged[0], res)
+	}
+
+	// Overlay-free shard files must not contain the optional fields.
+	indices, results := testResults()
+	buf.Reset()
+	if err := WriteShard(&buf, "sig", 3, Shard{1, 2}, indices, results); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"latency_ns", "ranks_per_node", "eager_threshold_bytes", "collective", `"buses"`} {
+		if strings.Contains(buf.String(), field) {
+			t.Errorf("overlay-free shard file mentions %q", field)
+		}
+	}
+}
+
 func TestSignatureSensitivity(t *testing.T) {
 	base := machine.Default()
 	g := Grid{Apps: []string{"pingpong"}, Chunks: []int{4, 8}}

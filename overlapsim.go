@@ -71,14 +71,24 @@ type (
 
 // Re-exported parameter-sweep types. A SweepGrid declares the cross product
 // of applications, rank counts, bandwidths, chunk granularities, overlap
-// mechanisms and patterns; a SweepRunner expands it into independent
-// simulation jobs and fans them out over a bounded worker pool, returning
-// results in stable point order (bit-identical for any worker count).
+// mechanisms and patterns, plus the platform axes (latencies, bus counts,
+// ranks-per-node, eager thresholds, collective models — replay-only: every
+// platform point shares one instrumented run per workload); a SweepRunner
+// expands it into independent simulation jobs and fans them out over a
+// bounded worker pool, returning results in stable point order
+// (bit-identical for any worker count). RunStreamContext additionally
+// delivers each result as it completes, for partial answers on huge grids.
 type (
 	// SweepGrid declares a parameter sweep as the cross product of axes.
 	SweepGrid = sweep.Grid
 	// SweepPoint is one simulation configuration of a grid.
 	SweepPoint = sweep.Point
+	// SweepPlatformOverlay is the platform-side part of a SweepPoint: the
+	// swept machine-model axes beyond bandwidth.
+	SweepPlatformOverlay = sweep.PlatformOverlay
+	// CollectiveModel selects the collective cost-formula family of a
+	// Machine (CollectivesLog or CollectivesLinear).
+	CollectiveModel = machine.CollectiveModel
 	// SweepResult is the outcome of one grid point.
 	SweepResult = sweep.Result
 	// SweepEngine bounds the worker pool simulations fan out on.
@@ -112,6 +122,13 @@ const (
 	EarlySend      = overlap.EarlySend
 	LateRecv       = overlap.LateRecv
 	BothMechanisms = overlap.BothMechanisms
+)
+
+// Collective cost-model families for Machine.Collectives and the sweep
+// Collectives axis.
+const (
+	CollectivesLog    = machine.CollLog
+	CollectivesLinear = machine.CollLinear
 )
 
 // NewEnvironment returns an environment on the default platform.
