@@ -53,8 +53,10 @@ bench-compare: bench-json
 	$(GO) run ./cmd/benchjson compare docs/bench-baseline.json BENCH_PR3.json \
 		-threshold 300% -allocs-threshold 10%
 
-# One-command local scale-out: N parallel shard processes sharing a trace
-# cache, merged byte-identically. Override the knobs above, e.g.:
+# One-command local scale-out: N parallel shard processes sharing one
+# cache directory — traces AND replay results (the replay store), so a
+# re-run of the same campaign does zero instrumented runs and zero
+# replays — merged byte-identically. Override the knobs above, e.g.:
 #   make campaign N=8 OUT=grid.csv ARGS="-apps bt,cg -bws 64MB/s,1GB/s"
 campaign:
 	N=$(N) OUT=$(OUT) FORMAT=$(FORMAT) CACHE=$(CACHE) GO=$(GO) ./scripts/campaign.sh $(ARGS)

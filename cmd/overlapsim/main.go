@@ -13,15 +13,23 @@
 //	                 [-latencies D,...] [-buscounts N,...] [-rpns N,...]
 //	                 [-eagers B,...] [-colls log,linear]
 //	                 [-size N] [-iters N]
-//	                 [-workers N] [-format table|csv|json] [-o file]
+//	                 [-workers N] [-format table|csv|json] [-o|-out file]
 //	                 [-shard k/N] [-cache-dir dir] [-progress] [-stream]
-//	                 [platform flags]
-//	overlapsim merge [-format table|csv|json] [-o file] <shard.json> ...
+//	                 [-stream-ordered] [platform flags]
+//	overlapsim merge [-format table|csv|json] [-o|-out file] <shard.json> ...
 //
 // Axis flags are repeatable: -latencies 5us,20us and -latencies 5us
 // -latencies 20us declare the same axis. The platform axes (latencies,
 // buscounts, rpns, eagers, colls) are replay-only: every platform point
 // shares one instrumented run per (app, ranks, chunks) workload.
+//
+// Results flow through sweep.Sink implementations: the default batch sink
+// writes the complete encoding after the last point, -stream-ordered flushes
+// the longest finished prefix of grid order as the sweep runs (an interrupt
+// keeps the flushed prefix as a well-formed partial file), and -shard writes
+// the mergeable envelope. -cache-dir persists both traces and replay
+// results, so an identical re-run performs zero instrumented runs and zero
+// replays (see the sweep: work: line).
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/stats"
 	"overlapsim/internal/sweep"
+	"overlapsim/internal/sweep/replaystore"
 	"overlapsim/internal/units"
 )
 
@@ -127,7 +136,9 @@ func runExperiments(args []string) error {
 	suite.Chunks = *chunks
 	suite.Workers = *workers
 	if *cacheDir != "" {
-		suite.Cache = &sweep.TraceCache{Dir: *cacheDir}
+		suite.Cache = &sweep.TraceCache{Dir: *cacheDir, Warn: func(msg string) {
+			fmt.Fprintln(os.Stderr, "run: warning:", msg)
+		}}
 	}
 
 	ids := []string{fs.Arg(0)}
@@ -206,10 +217,12 @@ func runStudy(args []string) error {
 }
 
 // runSweep expands a declarative grid from the command line and fans the
-// simulations out over the sweep engine's worker pool. Output is in stable
-// point order: byte-identical for any -workers value. With -shard k/N only
-// that shard's points run and the output is a mergeable shard file; with
-// -cache-dir instrumented runs are shared across processes.
+// simulations out over the sweep engine's worker pool, delivering every
+// result through a sweep.Sink. Output is in stable point order:
+// byte-identical for any -workers value and for any sink (batch, ordered
+// streaming, shard+merge). With -shard k/N only that shard's points run and
+// the output is a mergeable shard file; with -cache-dir instrumented runs
+// AND replay results are shared across processes.
 func runSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	axes := cliflag.RegisterSweepAxes(fs)
@@ -218,10 +231,12 @@ func runSweep(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = one per CPU); results are identical for any value")
 	format := fs.String("format", "table", "output format: table, csv or json")
 	out := fs.String("o", "", "write results to this file instead of stdout")
+	fs.StringVar(out, "out", "", "alias for -o")
 	shardFlag := fs.String("shard", "", "run only shard k/N of the grid (e.g. 1/2) and write a shard file for overlapsim merge")
-	cacheDir := fs.String("cache-dir", "", "persistent trace cache directory shared by repeated sweeps and sibling shards")
+	cacheDir := fs.String("cache-dir", "", "persistent cache directory shared by repeated sweeps and sibling shards: traces and replay results")
 	progress := fs.Bool("progress", false, "report completed/total points to stderr as the sweep runs")
 	stream := fs.Bool("stream", false, "print completed points to stderr as they finish (completion order, unordered); the final output stays in grid order")
+	streamOrdered := fs.Bool("stream-ordered", false, "flush results to -o/stdout incrementally in grid order (longest finished prefix); an interrupt keeps the flushed prefix as a well-formed partial file")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -260,14 +275,19 @@ func runSweep(args []string, stdout io.Writer) error {
 		if formatSet {
 			return fmt.Errorf("-shard writes a shard file; choose the final format on overlapsim merge instead")
 		}
+		if *streamOrdered {
+			return fmt.Errorf("-stream-ordered streams formatted results; a shard writes a single merge envelope (use -stream for per-point progress)")
+		}
 	}
 
+	warn := func(msg string) { fmt.Fprintln(os.Stderr, "sweep: warning:", msg) }
 	runner := sweep.NewRunner(cfg)
 	runner.Size = *size
 	runner.Iters = *iters
 	runner.Engine = sweep.Engine{Workers: *workers}
 	if *cacheDir != "" {
-		runner.Cache = &sweep.TraceCache{Dir: *cacheDir}
+		runner.Cache = &sweep.TraceCache{Dir: *cacheDir, Warn: warn}
+		runner.Store = &replaystore.Store{Dir: *cacheDir, Warn: warn}
 	}
 
 	total := grid.Size()
@@ -284,61 +304,107 @@ func runSweep(args []string, stdout io.Writer) error {
 			shard, len(indices), total, runner.Engine.WorkerCount())
 	}
 
-	// Streaming prints each point's result to stderr the moment it
-	// completes — in completion order, explicitly unordered — while the
-	// final stdout/-o output keeps the byte-identical grid order. Emit
-	// calls are serialized, so the plain counter is safe.
-	var emit func(index int, res sweep.Result)
-	streamed := 0
+	// Every output mode is a sink over the (lazily created) output target:
+	// the batch and shard sinks write only on Close — a failed sweep leaves
+	// no output file — while the ordered sink flushes the finished prefix
+	// as it grows, which is exactly what -stream-ordered promises to keep
+	// on an interrupt.
+	w, closeOut := outputTarget(stdout, *out)
+	var sink sweep.Sink
+	var ordered *sweep.OrderedSink
+	switch {
+	case !shard.IsZero():
+		sig := sweep.Signature(grid, cfg, *size, *iters)
+		sink = sweep.NewShardSink(w, sig, total, shard, indices)
+	case *streamOrdered:
+		ordered = sweep.NewOrderedSink(w, f, grid.Expand(), indices)
+		sink = ordered
+	default:
+		sink = sweep.NewBatchSink(w, f)
+	}
+
+	// -stream wraps the sink: each completed point is logged to stderr — in
+	// completion order, explicitly unordered — before it is forwarded, so
+	// streaming never perturbs the final output bytes.
+	run := sink
+	var logger *streamLogger
 	if *stream {
 		fmt.Fprintf(os.Stderr, "sweep: streaming completed points in completion order (unordered; final output stays in grid order)\n")
-		emit = func(index int, res sweep.Result) {
-			streamed++
-			fmt.Fprintf(os.Stderr, "sweep: done [%d/%d] point %d: %s: %.3fx (T %s -> %s)\n",
-				streamed, len(indices), index, res.Point,
-				res.Speedup, units.Duration(res.TOriginal), units.Duration(res.TOverlap))
-		}
+		logger = &streamLogger{inner: sink, total: len(indices)}
+		run = logger
 	}
 
 	// An interrupt (Ctrl-C) or SIGTERM cancels the sweep: claimed points
-	// finish (and still reach the -stream output), no new ones start, and
-	// no partial output file is written.
+	// finish (and still reach the sink and the -stream output), no new
+	// ones start. The batch and shard sinks are then abandoned unclosed —
+	// no partial output file — while the ordered sink is closed to keep
+	// the flushed grid-order prefix.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	results, err := runner.RunIndicesStreamContext(ctx, grid, indices, emit)
-	if err != nil {
-		if ctx.Err() != nil {
-			if *stream {
-				fmt.Fprintf(os.Stderr, "sweep: interrupted; %d finished points were streamed above\n", streamed)
+	if err := runner.RunIndicesSinkContext(ctx, grid, indices, run); err != nil {
+		if logger != nil && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "sweep: interrupted; %d finished points were streamed above\n", logger.n)
+		}
+		if ordered != nil {
+			// Terminate the flushed prefix no matter why the sweep stopped
+			// (interrupt or a failing point): the bytes are already on disk,
+			// and a terminated file is a well-formed partial result instead
+			// of a truncated encoding.
+			if cerr := sink.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: finalizing the partial output: %v\n", cerr)
+			} else if cerr := closeOut(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: closing the partial output: %v\n", cerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "sweep: kept the ordered prefix of %d finished points\n", ordered.Flushed())
 			}
+		}
+		if ctx.Err() != nil {
 			return fmt.Errorf("interrupted: %w", err)
 		}
 		return err
 	}
 	if err := runner.CacheStoreErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: warning: trace cache not updated (next run will re-trace): %v\n", err)
+		fmt.Fprintf(os.Stderr, "sweep: warning: cache not updated (next run will recompute): %v\n", err)
 	}
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits\n",
-		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits)
+	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits\n",
+		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits, st.ReplayStoreHits)
 
-	if !shard.IsZero() {
-		sig := sweep.Signature(grid, cfg, *size, *iters)
-		return writeOutput(stdout, *out, func(w io.Writer) error {
-			return sweep.WriteShard(w, sig, total, shard, indices, results)
-		})
+	if err := sink.Close(); err != nil {
+		return err
 	}
-	return writeOutput(stdout, *out, func(w io.Writer) error {
-		return sweep.Write(w, f, results)
-	})
+	// A failed close can mean a failed flush: report it, never exit 0 with
+	// a truncated results file.
+	return closeOut()
 }
 
+// streamLogger is the -stream sink decorator: it narrates each completed
+// point to stderr, then forwards it unchanged. Accept calls are serialized
+// by the runner, so the counter needs no locking.
+type streamLogger struct {
+	inner sweep.Sink
+	total int
+	n     int
+}
+
+func (s *streamLogger) Accept(index int, res sweep.Result) error {
+	s.n++
+	fmt.Fprintf(os.Stderr, "sweep: done [%d/%d] point %d: %s: %.3fx (T %s -> %s)\n",
+		s.n, s.total, index, res.Point,
+		res.Speedup, units.Duration(res.TOriginal), units.Duration(res.TOverlap))
+	return s.inner.Accept(index, res)
+}
+
+func (s *streamLogger) Close() error { return s.inner.Close() }
+
 // runMerge recombines shard files written by sweep -shard into the final
-// table/CSV/JSON, byte-identical to the same sweep run unsharded.
+// table/CSV/JSON, byte-identical to the same sweep run unsharded: the
+// merged results flow through the same batch sink an unsharded sweep uses.
 func runMerge(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	format := fs.String("format", "table", "output format: table, csv or json")
 	out := fs.String("o", "", "write results to this file instead of stdout")
+	fs.StringVar(out, "out", "", "alias for -o")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,26 +432,52 @@ func runMerge(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return writeOutput(stdout, *out, func(w io.Writer) error {
-		return sweep.Write(w, f, results)
-	})
+	w, closeOut := outputTarget(stdout, *out)
+	sink := sweep.NewBatchSink(w, f)
+	for i, r := range results {
+		if err := sink.Accept(i, r); err != nil {
+			return err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	return closeOut()
 }
 
-// writeOutput writes through the encoder to stdout or, when path is
-// non-empty, to the named file.
-func writeOutput(stdout io.Writer, path string, write func(io.Writer) error) error {
+// outputTarget returns the writer results flow to — stdout, or a lazily
+// created file — plus a close func. The file is created on first write,
+// so a sink that never writes (a failed batch run) leaves no file behind,
+// and a failed close is reported rather than exiting 0 with a truncated
+// results file.
+func outputTarget(stdout io.Writer, path string) (io.Writer, func() error) {
 	if path == "" {
-		return write(stdout)
+		return stdout, func() error { return nil }
 	}
-	file, err := os.Create(path)
-	if err != nil {
-		return err
+	lf := &lazyFile{path: path}
+	return lf, lf.Close
+}
+
+// lazyFile creates its file on first Write.
+type lazyFile struct {
+	path string
+	f    *os.File
+}
+
+func (l *lazyFile) Write(p []byte) (int, error) {
+	if l.f == nil {
+		f, err := os.Create(l.path)
+		if err != nil {
+			return 0, err
+		}
+		l.f = f
 	}
-	if err := write(file); err != nil {
-		file.Close()
-		return err
+	return l.f.Write(p)
+}
+
+func (l *lazyFile) Close() error {
+	if l.f == nil {
+		return nil
 	}
-	// A failed close can mean a failed flush: report it, never exit 0
-	// with a truncated results file.
-	return file.Close()
+	return l.f.Close()
 }

@@ -197,9 +197,67 @@ func TestRunSweepCacheDirWarm(t *testing.T) {
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("cache dir not populated: %v (%d entries)", err, len(entries))
 	}
+	// -cache-dir persists both layers: trace/profile pairs and replay
+	// results.
+	kinds := map[string]int{}
+	for _, e := range entries {
+		kinds[filepath.Ext(e.Name())]++
+	}
+	for _, ext := range []string{".trace", ".profile", ".replay"} {
+		if kinds[ext] == 0 {
+			t.Errorf("cache dir has no %s entries (have %v)", ext, kinds)
+		}
+	}
 	warm := run()
 	if !bytes.Equal(cold, warm) {
 		t.Errorf("warm-cache output differs:\n%s\n---\n%s", cold, warm)
+	}
+}
+
+// TestRunSweepStreamOrderedByteIdentical: -stream-ordered flushes
+// incrementally but a completed sweep's file is byte-identical to the
+// batch path, format by format — and -out is an alias for -o.
+func TestRunSweepStreamOrderedByteIdentical(t *testing.T) {
+	args := append([]string{}, shardSweepArgs...)
+	for _, format := range []string{"table", "csv", "json"} {
+		var batch, ordered bytes.Buffer
+		if err := runSweep(append([]string{"-format", format}, args...), &batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := runSweep(append([]string{"-stream-ordered", "-workers", "4", "-format", format}, args...), &ordered); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch.Bytes(), ordered.Bytes()) {
+			t.Errorf("%s: -stream-ordered output differs from batch:\n%s\n---\n%s",
+				format, batch.String(), ordered.String())
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "ordered.csv")
+	var stdout, batch bytes.Buffer
+	if err := runSweep(append([]string{"-format", "csv"}, args...), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-stream-ordered", "-format", "csv", "-out", path}, args...), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("results leaked to stdout with -out: %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), data) {
+		t.Errorf("-stream-ordered -out file differs from batch output:\n%s\n---\n%s", batch.String(), data)
+	}
+}
+
+func TestRunSweepStreamOrderedRejectsShard(t *testing.T) {
+	var sink bytes.Buffer
+	args := append([]string{"-stream-ordered", "-shard", "1/2"}, shardSweepArgs...)
+	if err := runSweep(args, &sink); err == nil || !strings.Contains(err.Error(), "-stream-ordered") {
+		t.Errorf("expected -stream-ordered-with-shard error, got %v", err)
 	}
 }
 

@@ -41,8 +41,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s: %d platform points, one instrumented run\n", *appName, grid.Size())
 
 	results, err := runner.RunStreamContext(context.Background(), grid,
-		func(index int, res overlapsim.SweepResult) {
+		func(index int, res overlapsim.SweepResult) error {
 			fmt.Fprintf(os.Stderr, "done point %d: %s: %.3fx\n", index, res.Point, res.Speedup)
+			return nil
 		})
 	if err != nil {
 		log.Fatal(err)

@@ -6,11 +6,52 @@ import (
 	"overlapsim/internal/units"
 )
 
+// The main benchmarks schedule typed events — the path every simulator
+// component in this repo uses since the replayer's migration. The closure
+// adapter remains supported (Event implements Target), so each benchmark
+// keeps a *Closure twin that pins the adapter's overhead: the adapter costs
+// one closure allocation per capture plus an indirect call, and the twins
+// make that price a measured number instead of ROADMAP folklore.
+
+// benchTick is the typed counterpart of the closure self-rescheduling load:
+// a shared counter target that reschedules itself until the run's step
+// budget is spent, mirroring the replayer's self-driving rank machines.
+type benchTick struct {
+	eng   *Engine
+	steps int64
+	total int64
+}
+
+func (t *benchTick) HandleEvent(Kind) {
+	t.steps++
+	if t.steps < t.total {
+		t.eng.ScheduleEventAfter(units.Duration(1+t.steps%7)*units.Microsecond, t, 0)
+	}
+}
+
 // BenchmarkEngine measures the engine's core schedule/dispatch loop with a
 // replay-like load: a standing population of events where each executed
 // event reschedules itself, so pushes and pops interleave at a realistic
-// queue depth.
+// queue depth. Events are typed — the engine's native path.
 func BenchmarkEngine(b *testing.B) {
+	const population = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		tick := &benchTick{eng: e, total: population * 64}
+		for j := 0; j < population; j++ {
+			e.ScheduleEventAfter(units.Duration(j)*units.Microsecond, tick, 0)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineClosure is BenchmarkEngine through the legacy closure
+// adapter: same load, every event scheduled as a func(). The delta against
+// BenchmarkEngine is the adapter's price.
+func BenchmarkEngineClosure(b *testing.B) {
 	const population = 256
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -33,17 +74,41 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineSchedule isolates the queue itself: push a batch of events
-// in scattered time order, then drain it.
+// nopTarget is an inert typed target for pure-queue measurements.
+type nopTarget struct{}
+
+func (nopTarget) HandleEvent(Kind) {}
+
+// BenchmarkEngineSchedule isolates the queue itself: push a batch of typed
+// events in scattered time order, then drain it.
 func BenchmarkEngineSchedule(b *testing.B) {
 	const batch = 4096
-	nop := func() {}
+	var nop nopTarget
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := New()
 		for j := 0; j < batch; j++ {
 			// Deterministic scatter: (j*2654435761) mod batch spreads
 			// timestamps without rand.
+			at := units.Time(uint32(j) * 2654435761 % batch)
+			e.ScheduleEvent(at, nop, 0)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScheduleClosure is the pure-queue microbench through the
+// closure adapter — the historical shape of this benchmark, kept to track
+// what closure-heavy users pay.
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	const batch = 4096
+	nop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < batch; j++ {
 			at := units.Time(uint32(j) * 2654435761 % batch)
 			e.Schedule(at, nop)
 		}

@@ -24,11 +24,22 @@
 // Run*Stream variants additionally deliver each result as it completes
 // (unordered, serialized) without touching the ordered final output.
 //
+// # The results pipeline
+//
+// Results leave the system through the Sink interface: Accept receives
+// each completed point (out of order, serialized), Close finalizes the
+// encoding. BatchSink re-expresses the batch writers, OrderedSink flushes
+// the longest finished prefix of grid order incrementally (an interrupted
+// sweep keeps a well-formed ordered partial file; a completed one is
+// byte-identical to the batch path), and ShardSink writes the merge
+// envelope. Runner.RunSink feeds any sink while retaining nothing, so a
+// campaign-scale grid streams through constant memory.
+//
 // # The work-avoidance layers
 //
 // A grid point costs, from most to least expensive: an instrumented
 // application run (tracing), two DES replays, and one trace
-// transformation. Three caching layers collapse the duplicates a grid
+// transformation. Four caching layers collapse the duplicates a grid
 // inevitably contains:
 //
 //   - Runner.Cache (*TraceCache) persists profiled trace sets on disk,
@@ -40,11 +51,20 @@
 //     independent of the mechanism/pattern/chunk axes, so sweeping those
 //     axes pays for the original replay once instead of once per point —
 //     roughly halving the replays of such grids.
+//   - Runner.Store (*replaystore.Store) persists the replay memo's
+//     entries on disk under the same key (platform hashed losslessly), so
+//     a warm re-run of an identical sweep does zero replays on top of
+//     zero instrumented runs.
 //   - VariantCache memoizes overlap.Transform per variant name within a
 //     traced workload.
 //
+// Both persistent layers are accelerators, never correctness
+// dependencies: corrupt or truncated entries warn, miss, and are
+// recomputed and rewritten; writes are atomic and best-effort.
+//
 // Runner.Stats reports counters (traces run, cache hits, replays run,
-// memo hits) so callers and tests can assert the avoided work.
+// memo hits, store hits) so callers and tests can assert the avoided
+// work.
 //
 // # Sharding and merging
 //

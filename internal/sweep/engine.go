@@ -41,6 +41,20 @@ func (e *JobError) Error() string { return fmt.Sprintf("sweep: job %d: %v", e.In
 // Unwrap exposes the underlying job failure.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// SinkError reports a failed delivery: the emit callback (typically a Sink
+// writing results somewhere) returned an error for the given index. Unlike
+// a JobError the simulation itself succeeded; the output path is broken, so
+// the sweep stops claiming new work.
+type SinkError struct {
+	Index int
+	Err   error
+}
+
+func (e *SinkError) Error() string { return fmt.Sprintf("sweep: emit job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying delivery failure.
+func (e *SinkError) Unwrap() error { return e.Err }
+
 // Map runs fn(i) for every i in [0, n) on the engine's worker pool and
 // returns the results in index order. It is MapContext without
 // cancellation.
@@ -66,6 +80,9 @@ func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, 
 // serialized (an emit callback needs no locking of its own) and happen
 // before the Progress callback observes the completion. The final ordered
 // result slice is assembled independently, so streaming never perturbs it.
+// An emit error stops the sweep the same way a job failure does (claimed
+// jobs finish but are no longer delivered) and is reported as a *SinkError;
+// a sink that fails mid-run therefore cannot silently drop results.
 //
 // On failure StreamContext returns a *JobError wrapping the error of the
 // lowest failing index. Jobs not yet claimed when a failure is observed
@@ -73,62 +90,112 @@ func MapContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, 
 // claim indices in ascending order, every index below the lowest failing
 // one has been claimed (and succeeds) by the time the failure can be
 // observed, so the reported error is the same one a serial run would hit
-// first.
+// first. A job failure takes precedence over an emit failure (emit errors
+// arrive in completion order, so theirs is the only error whose identity
+// can depend on the worker count).
 //
 // Cancelling the context stops the sweep promptly: no new jobs are
 // claimed, already-claimed jobs run to completion — and still reach emit,
 // so an interrupted caller keeps everything that actually finished — and
 // StreamContext returns ctx.Err() with no results. Cancellation takes
 // precedence over job failures observed in the same window.
-func StreamContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error), emit func(i int, v T)) ([]T, error) {
+func StreamContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	out := make([]T, n)
+	if err := stream(ctx, e, n, fn, emit, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EachContext is StreamContext without the ordered result slice: every
+// successful result reaches emit exactly once, in completion order, and
+// nothing is retained — the streaming form sinks build on, where holding
+// the whole grid in memory would defeat the point. The error contract is
+// StreamContext's.
+func EachContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	return stream(ctx, e, n, fn, emit, nil)
+}
+
+// stream is the shared engine core: run every job, optionally collect into
+// out (when non-nil), optionally deliver through emit.
+func stream[T any](ctx context.Context, e Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error, out []T) error {
 	workers := e.WorkerCount()
 	if workers > n {
 		workers = n
 	}
-	out := make([]T, n)
 	var mu sync.Mutex
 	completed := 0
+	var sinkErr *SinkError
+	// failed stops workers from claiming new jobs; both a job error and a
+	// sink error raise it (the sink's flag is also readable under mu via
+	// sinkErr, but the claim check must be lock-free).
+	var failed atomic.Bool
 	deliver := func(i int, v T) {
 		if emit == nil && e.Progress == nil {
 			return
 		}
 		mu.Lock()
+		defer mu.Unlock()
+		// After a sink failure nothing more is delivered: the sink's output
+		// is already broken, and feeding it further results (or reporting
+		// progress for them) would dress up a truncated stream as a live one.
+		if sinkErr != nil {
+			return
+		}
 		if emit != nil {
-			emit(i, v)
+			if err := emit(i, v); err != nil {
+				sinkErr = &SinkError{Index: i, Err: err}
+				failed.Store(true)
+				return
+			}
 		}
 		completed++
 		if e.Progress != nil {
 			e.Progress(completed, n)
 		}
-		mu.Unlock()
+	}
+	sinkFailed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return sinkErr != nil
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
+			}
+			if sinkFailed() {
+				break
 			}
 			v, err := fn(i)
 			if err != nil {
-				return nil, &JobError{Index: i, Err: err}
+				return &JobError{Index: i, Err: err}
 			}
-			out[i] = v
+			if out != nil {
+				out[i] = v
+			}
 			deliver(i, v)
 		}
 		// Mirror the parallel path: a cancellation that lands during the
 		// final job still voids the run, so the outcome never depends on
 		// the worker count.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		return out, nil
+		if sinkErr != nil {
+			return sinkErr
+		}
+		return nil
 	}
 
 	errs := make([]error, n)
 	var next atomic.Int64
-	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
@@ -137,7 +204,9 @@ func StreamContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (
 			for {
 				// The failure/cancellation check precedes the claim: once an
 				// index is claimed it always runs, which is what guarantees
-				// every index below the lowest failing one completes.
+				// every index below the lowest failing one completes — and a
+				// sink failure raises the same flag, so no worker spends a
+				// simulation on a result that can no longer be delivered.
 				if failed.Load() || ctx.Err() != nil {
 					return
 				}
@@ -151,19 +220,24 @@ func StreamContext[T any](ctx context.Context, e Engine, n int, fn func(i int) (
 					failed.Store(true)
 					return
 				}
-				out[i] = v
+				if out != nil {
+					out[i] = v
+				}
 				deliver(i, v)
 			}
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, &JobError{Index: i, Err: err}
+			return &JobError{Index: i, Err: err}
 		}
 	}
-	return out, nil
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return nil
 }

@@ -84,3 +84,22 @@ func activeOverlayColumns(results []Result) []overlayColumn {
 	}
 	return active
 }
+
+// activeOverlayColumnsIndices is activeOverlayColumns over the selected
+// points of an expansion instead of results — what a streaming sink must
+// use, since it has to commit to its header columns before any result
+// exists. A point's overlay is copied verbatim into its result, so both
+// computations agree and the streamed header is byte-identical to the
+// batch one.
+func activeOverlayColumnsIndices(pts []Point, indices []int) []overlayColumn {
+	var active []overlayColumn
+	for _, c := range overlayColumns {
+		for _, i := range indices {
+			if c.set(pts[i]) {
+				active = append(active, c)
+				break
+			}
+		}
+	}
+	return active
+}

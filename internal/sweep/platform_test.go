@@ -286,11 +286,12 @@ func TestStreamContextDeliversEveryResult(t *testing.T) {
 		var emitted []int // emit is serialized, so appends need no lock
 		out, err := StreamContext(context.Background(), Engine{Workers: workers}, 20,
 			func(i int) (int, error) { return i * i, nil },
-			func(i, v int) {
+			func(i, v int) error {
 				if v != i*i {
 					t.Errorf("emit(%d, %d): value mismatch", i, v)
 				}
 				emitted = append(emitted, i)
+				return nil
 			})
 		if err != nil {
 			t.Fatal(err)
@@ -322,7 +323,7 @@ func TestStreamContextEmitsFinishedWorkOnCancel(t *testing.T) {
 			}
 			return i, nil
 		},
-		func(i, v int) { emitted = append(emitted, i) })
+		func(i, v int) error { emitted = append(emitted, i); return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -339,11 +340,12 @@ func TestRunnerStreamMatchesOrderedResults(t *testing.T) {
 	r := newScaleoutRunner(t)
 	r.Engine = Engine{Workers: 4}
 	got := map[int]Result{}
-	results, err := r.RunStreamContext(context.Background(), g, func(index int, res Result) {
+	results, err := r.RunStreamContext(context.Background(), g, func(index int, res Result) error {
 		if _, dup := got[index]; dup {
 			t.Errorf("point %d streamed twice", index)
 		}
 		got[index] = res
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -364,8 +366,9 @@ func TestRunnerIndicesStreamReportsGridIndices(t *testing.T) {
 	indices := sh.Indices(g.Size())
 	r := newScaleoutRunner(t)
 	var streamed []int
-	_, err := r.RunIndicesStreamContext(context.Background(), g, indices, func(index int, res Result) {
+	_, err := r.RunIndicesStreamContext(context.Background(), g, indices, func(index int, res Result) error {
 		streamed = append(streamed, index)
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,223 @@
+package replaystore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/units"
+)
+
+func testStore(t *testing.T) (*Store, *[]string) {
+	t.Helper()
+	var warnings []string
+	s := &Store{
+		Dir:  t.TempDir(),
+		Warn: func(msg string) { warnings = append(warnings, msg) },
+	}
+	return s, &warnings
+}
+
+// TestKeyGolden pins the key scheme: keys are shared between processes and
+// across releases of one format version, so changing them silently would
+// orphan every existing store directory.
+func TestKeyGolden(t *testing.T) {
+	s := &Store{}
+	key := s.Key("bt", 4, 10, 2, "overlap-linear-both-c8", machine.Default())
+	want := "rs1-bt-r4-s10-i2-overlap-linear-both-c8-p"
+	if !strings.HasPrefix(key, want) {
+		t.Errorf("Key = %q, want prefix %q", key, want)
+	}
+	if len(key) != len(want)+16 {
+		t.Errorf("Key = %q, want a 16-hex-digit platform hash suffix", key)
+	}
+	// The full key, hash included, is pinned: a change here invalidates
+	// every existing cache directory and must come with a version bump.
+	const golden = "rs1-pingpong-r2-s512-i2-original-p152d531b61818990"
+	if got := s.Key("pingpong", 2, 512, 2, "original", machine.Default()); got != golden {
+		t.Errorf("Key = %q, want %q (did the platform hash change without a FormatVersion bump?)", got, golden)
+	}
+	if weird := s.Key("we/ird app", 2, 0, 0, "var/iant", machine.Default()); strings.ContainsAny(weird, "/ ") {
+		t.Errorf("Key %q not sanitized for file names", weird)
+	}
+}
+
+// TestKeyCoversWorkloadScale: sweeps differing only in problem size or
+// iteration count trace different workloads, so their replays must never
+// share a store entry — the cross-process analogue of the trace-cache
+// key's s/i components.
+func TestKeyCoversWorkloadScale(t *testing.T) {
+	s := &Store{}
+	base := s.Key("pingpong", 2, 512, 2, "original", machine.Default())
+	if s.Key("pingpong", 2, 2048, 2, "original", machine.Default()) == base {
+		t.Error("keys differing only in size alias")
+	}
+	if s.Key("pingpong", 2, 512, 5, "original", machine.Default()) == base {
+		t.Error("keys differing only in iters alias")
+	}
+}
+
+// TestKeyPlatformLossless: the platform hash must distinguish values the
+// human rendering rounds together — two latencies 400ns apart both print
+// "1.000ms", and aliasing them would hand one platform the other's replay.
+func TestKeyPlatformLossless(t *testing.T) {
+	s := &Store{}
+	a, b := machine.Default(), machine.Default()
+	a.Latency = units.Millisecond
+	b.Latency = units.Millisecond + 400*units.Nanosecond
+	if s.Key("bt", 4, 0, 0, "original", a) == s.Key("bt", 4, 0, 0, "original", b) {
+		t.Error("latencies 400ns apart share a key")
+	}
+	// Bandwidths that differ below the rendering precision.
+	a, b = machine.Default(), machine.Default()
+	a.Bandwidth = 256 * units.MBPerSec
+	b.Bandwidth = a.Bandwidth + 1
+	if s.Key("bt", 4, 0, 0, "original", a) == s.Key("bt", 4, 0, 0, "original", b) {
+		t.Error("bandwidths 1B/s apart share a key")
+	}
+	// The display name is presentation and must NOT split keys.
+	a, b = machine.Default(), machine.Default()
+	a.Name, b.Name = "alpha", "beta"
+	if s.Key("bt", 4, 0, 0, "original", a) != s.Key("bt", 4, 0, 0, "original", b) {
+		t.Error("platform display name leaked into the key")
+	}
+}
+
+// TestPlatformHashCoversEveryConfigField is the tripwire for growing
+// machine.Config: platformHash enumerates fields by hand, so a new field
+// must be added there (with a FormatVersion bump) — this count makes the
+// omission a test failure instead of silent key aliasing.
+func TestPlatformHashCoversEveryConfigField(t *testing.T) {
+	const hashed = 13 // every field except the display Name
+	n := reflect.TypeOf(machine.Config{}).NumField()
+	if n != hashed+1 {
+		t.Errorf("machine.Config has %d fields but platformHash covers %d (+Name): add the new field to platformHash and bump FormatVersion",
+			n, hashed)
+	}
+}
+
+// TestStoreRoundTrip: Load returns exactly what Store wrote, including a
+// Blocked fraction that does not round-trip through fixed-precision
+// formatting.
+func TestStoreRoundTrip(t *testing.T) {
+	s, warnings := testStore(t)
+	key := s.Key("bt", 4, 0, 0, "original", machine.Default())
+	want := Result{Total: 123456789, Steps: 42, Blocked: 1.0 / 3.0}
+	if err := s.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Load(key)
+	if got == nil {
+		t.Fatal("Load missed a stored entry")
+	}
+	if *got != want {
+		t.Errorf("Load = %+v, want %+v", *got, want)
+	}
+	if got.Blocked != want.Blocked || math.Float64bits(got.Blocked) != math.Float64bits(want.Blocked) {
+		t.Errorf("Blocked did not round-trip exactly: %x vs %x",
+			math.Float64bits(got.Blocked), math.Float64bits(want.Blocked))
+	}
+	if len(*warnings) != 0 {
+		t.Errorf("clean round trip warned: %v", *warnings)
+	}
+}
+
+// TestLoadMissAndFallbacks: every way an entry can be unusable — absent,
+// empty, truncated, garbage, or a future format version — is a warned miss,
+// never a failure.
+func TestLoadMissAndFallbacks(t *testing.T) {
+	s, warnings := testStore(t)
+	key := s.Key("bt", 4, 0, 0, "original", machine.Default())
+	if s.Load(key) != nil {
+		t.Fatal("Load hit on an empty store")
+	}
+	if len(*warnings) != 0 {
+		t.Fatalf("plain miss warned: %v", *warnings)
+	}
+	cases := map[string]string{
+		"empty":         "",
+		"truncated":     "overlapsim-replay rs1\n",
+		"garbage":       "not a replay result\n",
+		"bad-field":     "overlapsim-replay rs1\ntotal_ns=abc steps=1 blocked=0\n",
+		"wrong-order":   "overlapsim-replay rs1\nsteps=1 total_ns=2 blocked=0\n",
+		"wrong-version": "overlapsim-replay rs999\ntotal_ns=1 steps=1 blocked=0\n",
+	}
+	for name, content := range cases {
+		*warnings = (*warnings)[:0]
+		if err := os.WriteFile(filepath.Join(s.Dir, key+".replay"), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Load(key); got != nil {
+			t.Errorf("%s: Load returned %+v, want a miss", name, *got)
+		}
+		if len(*warnings) != 1 {
+			t.Errorf("%s: %d warnings, want exactly 1: %v", name, len(*warnings), *warnings)
+		}
+	}
+	// Recovery: storing over the bad entry makes it load again.
+	if err := s.Store(key, Result{Total: 1, Steps: 2, Blocked: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load(key) == nil {
+		t.Error("Load missed after rewriting the corrupt entry")
+	}
+}
+
+// TestLoadMissingDirIsSilent: an unwarmed store — the directory, or a
+// component of it, does not exist or is a regular file — is an ordinary
+// miss, not a per-key warning storm.
+func TestLoadMissingDirIsSilent(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	for name, dir := range map[string]string{
+		"absent dir":        filepath.Join(t.TempDir(), "nope"),
+		"file as component": filepath.Join(blocker, "store"),
+	} {
+		var warnings []string
+		s := &Store{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+		if got := s.Load(s.Key("bt", 4, 0, 0, "original", machine.Default())); got != nil {
+			t.Errorf("%s: Load returned %+v, want a miss", name, *got)
+		}
+		if len(warnings) != 0 {
+			t.Errorf("%s: miss warned: %v", name, warnings)
+		}
+	}
+}
+
+// TestConcurrentWritersSameKey: writers racing on one key (sibling shards
+// warming one store) always leave a complete, loadable entry — the atomic
+// temp+rename contract.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	s, _ := testStore(t)
+	key := s.Key("bt", 4, 0, 0, "original", machine.Default())
+	want := Result{Total: 99, Steps: 7, Blocked: 0.25}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Store(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := s.Load(key); got != nil && *got != want {
+					t.Errorf("torn read: %+v", *got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.Load(key)
+	if got == nil || *got != want {
+		t.Fatalf("after the race: Load = %v, want %+v", got, want)
+	}
+}

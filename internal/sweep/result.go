@@ -33,7 +33,9 @@ func ParseFormat(s string) (Format, error) {
 // Write encodes the results in the given format. Platform-axis columns are
 // dynamic: they appear (between the bandwidth and chunks columns) only when
 // the results sweep the axis, so output for grids without platform axes is
-// byte-identical to earlier releases.
+// byte-identical to earlier releases. Write is the batch path; the same
+// rows flow through the Sink implementations, which share these builders,
+// so batch and streamed encodings cannot drift apart.
 func Write(w io.Writer, f Format, results []Result) error {
 	switch f {
 	case FormatCSV:
@@ -45,75 +47,92 @@ func Write(w io.Writer, f Format, results []Result) error {
 	}
 }
 
-// WriteTable renders the results as the aligned text table the experiment
-// harness uses.
-func WriteTable(w io.Writer, results []Result) error {
-	overlay := activeOverlayColumns(results)
+// tableHeader builds the aligned-table header row for the given dynamic
+// overlay columns.
+func tableHeader(overlay []overlayColumn) []string {
 	header := []string{"app", "ranks", "bandwidth"}
 	for _, c := range overlay {
 		header = append(header, c.head)
 	}
-	header = append(header, "chunks", "mechanisms", "pattern",
+	return append(header, "chunks", "mechanisms", "pattern",
 		"T-original", "T-overlap", "speedup", "blocked")
-	tb := stats.NewTable(header...)
-	for _, r := range results {
-		p := r.Point
-		row := []string{p.App, ranksLabel(p.Ranks), r.Bandwidth.String()}
-		for _, c := range overlay {
-			if c.set(p) {
-				row = append(row, c.human(p))
-			} else {
-				row = append(row, baseLabel)
-			}
+}
+
+// tableRow renders one result as an aligned-table row.
+func tableRow(overlay []overlayColumn, r Result) []string {
+	p := r.Point
+	row := []string{p.App, ranksLabel(p.Ranks), r.Bandwidth.String()}
+	for _, c := range overlay {
+		if c.set(p) {
+			row = append(row, c.human(p))
+		} else {
+			row = append(row, baseLabel)
 		}
-		row = append(row, fmt.Sprint(p.Chunks), p.Mechanisms.String(), p.Pattern.String(),
-			units.Duration(r.TOriginal).String(), units.Duration(r.TOverlap).String(),
-			fmt.Sprintf("%.3fx", r.Speedup), fmt.Sprintf("%.3f", r.Blocked))
-		tb.AddRow(row...)
+	}
+	return append(row, fmt.Sprint(p.Chunks), p.Mechanisms.String(), p.Pattern.String(),
+		units.Duration(r.TOriginal).String(), units.Duration(r.TOverlap).String(),
+		fmt.Sprintf("%.3fx", r.Speedup), fmt.Sprintf("%.3f", r.Blocked))
+}
+
+// WriteTable renders the results as the aligned text table the experiment
+// harness uses.
+func WriteTable(w io.Writer, results []Result) error {
+	overlay := activeOverlayColumns(results)
+	tb := stats.NewTable(tableHeader(overlay)...)
+	for _, r := range results {
+		tb.AddRow(tableRow(overlay, r)...)
 	}
 	return tb.Render(w)
 }
 
-// WriteCSV encodes the results as one CSV row per point. Times are exact
-// nanosecond integers so downstream tooling does not lose precision to the
-// human-readable rendering.
-func WriteCSV(w io.Writer, results []Result) error {
-	cw := csv.NewWriter(w)
-	overlay := activeOverlayColumns(results)
+// csvHeader builds the CSV header row for the given dynamic overlay columns.
+func csvHeader(overlay []overlayColumn) []string {
 	header := []string{"app", "ranks", "bandwidth_bytes_per_sec"}
 	for _, c := range overlay {
 		header = append(header, c.csvHead)
 	}
-	header = append(header, "chunks", "mechanisms",
+	return append(header, "chunks", "mechanisms",
 		"pattern", "t_original_ns", "t_overlap_ns", "speedup", "blocked_fraction", "des_steps")
-	if err := cw.Write(header); err != nil {
+}
+
+// csvRecord renders one result as a CSV record. Times are exact nanosecond
+// integers so downstream tooling does not lose precision to the
+// human-readable rendering.
+func csvRecord(overlay []overlayColumn, r Result) []string {
+	p := r.Point
+	rec := []string{
+		p.App,
+		fmt.Sprint(p.Ranks),
+		fmt.Sprintf("%.0f", float64(r.Bandwidth)),
+	}
+	for _, c := range overlay {
+		if c.set(p) {
+			rec = append(rec, c.exact(p))
+		} else {
+			rec = append(rec, baseLabel)
+		}
+	}
+	return append(rec,
+		fmt.Sprint(p.Chunks),
+		p.Mechanisms.String(),
+		p.Pattern.String(),
+		fmt.Sprint(int64(r.TOriginal)),
+		fmt.Sprint(int64(r.TOverlap)),
+		fmt.Sprintf("%.6f", r.Speedup),
+		fmt.Sprintf("%.6f", r.Blocked),
+		fmt.Sprint(r.Steps),
+	)
+}
+
+// WriteCSV encodes the results as one CSV row per point.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	overlay := activeOverlayColumns(results)
+	if err := cw.Write(csvHeader(overlay)); err != nil {
 		return err
 	}
 	for _, r := range results {
-		p := r.Point
-		rec := []string{
-			p.App,
-			fmt.Sprint(p.Ranks),
-			fmt.Sprintf("%.0f", float64(r.Bandwidth)),
-		}
-		for _, c := range overlay {
-			if c.set(p) {
-				rec = append(rec, c.exact(p))
-			} else {
-				rec = append(rec, baseLabel)
-			}
-		}
-		rec = append(rec,
-			fmt.Sprint(p.Chunks),
-			p.Mechanisms.String(),
-			p.Pattern.String(),
-			fmt.Sprint(int64(r.TOriginal)),
-			fmt.Sprint(int64(r.TOverlap)),
-			fmt.Sprintf("%.6f", r.Speedup),
-			fmt.Sprintf("%.6f", r.Blocked),
-			fmt.Sprint(r.Steps),
-		)
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(csvRecord(overlay, r)); err != nil {
 			return err
 		}
 	}
@@ -143,45 +162,51 @@ type jsonResult struct {
 	Steps        int64   `json:"des_steps"`
 }
 
+// jsonRow projects one result into its stable JSON form.
+func jsonRow(r Result) jsonResult {
+	p := r.Point
+	out := jsonResult{
+		App:       p.App,
+		Ranks:     p.Ranks,
+		Bandwidth: float64(r.Bandwidth),
+		Chunks:    p.Chunks,
+		Mechanism: p.Mechanisms.String(),
+		Pattern:   p.Pattern.String(),
+		TOriginal: int64(r.TOriginal),
+		TOverlap:  int64(r.TOverlap),
+		Speedup:   r.Speedup,
+		Blocked:   r.Blocked,
+		Steps:     r.Steps,
+	}
+	ov := p.Platform
+	if ov.LatencySet {
+		v := int64(ov.Latency)
+		out.Latency = &v
+	}
+	if ov.BusesSet {
+		v := ov.Buses
+		out.Buses = &v
+	}
+	if ov.RanksPerNodeSet {
+		v := ov.RanksPerNode
+		out.RanksPerNode = &v
+	}
+	if ov.EagerSet {
+		v := int64(ov.EagerThreshold)
+		out.Eager = &v
+	}
+	if ov.CollectiveSet {
+		v := ov.Collective.String()
+		out.Collective = &v
+	}
+	return out
+}
+
 // WriteJSON encodes the results as an indented JSON array in point order.
 func WriteJSON(w io.Writer, results []Result) error {
 	out := make([]jsonResult, len(results))
 	for i, r := range results {
-		p := r.Point
-		out[i] = jsonResult{
-			App:       p.App,
-			Ranks:     p.Ranks,
-			Bandwidth: float64(r.Bandwidth),
-			Chunks:    p.Chunks,
-			Mechanism: p.Mechanisms.String(),
-			Pattern:   p.Pattern.String(),
-			TOriginal: int64(r.TOriginal),
-			TOverlap:  int64(r.TOverlap),
-			Speedup:   r.Speedup,
-			Blocked:   r.Blocked,
-			Steps:     r.Steps,
-		}
-		ov := p.Platform
-		if ov.LatencySet {
-			v := int64(ov.Latency)
-			out[i].Latency = &v
-		}
-		if ov.BusesSet {
-			v := ov.Buses
-			out[i].Buses = &v
-		}
-		if ov.RanksPerNodeSet {
-			v := ov.RanksPerNode
-			out[i].RanksPerNode = &v
-		}
-		if ov.EagerSet {
-			v := int64(ov.EagerThreshold)
-			out[i].Eager = &v
-		}
-		if ov.CollectiveSet {
-			v := ov.Collective.String()
-			out[i].Collective = &v
-		}
+		out[i] = jsonRow(r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

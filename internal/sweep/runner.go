@@ -10,6 +10,7 @@ import (
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/replay"
+	"overlapsim/internal/sweep/replaystore"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/tracer"
 	"overlapsim/internal/units"
@@ -32,11 +33,19 @@ type Runner struct {
 	Engine Engine
 	// Cache, when non-nil, persists profiled trace sets on disk so that
 	// repeated sweeps and sibling shards (other processes) skip the
-	// instrumented run entirely. Cache reads that fail (corruption) abort
-	// the sweep; cache writes are best-effort — a read-only or full cache
-	// directory must not discard a trace that just succeeded. The first
-	// failed write is reported by CacheStoreErr.
+	// instrumented run entirely. A present but undecodable entry is
+	// ignored with a warning (TraceCache.Warn) and the workload re-traced;
+	// cache writes are best-effort — a read-only or full cache directory
+	// must not discard a trace that just succeeded. The first failed write
+	// is reported by CacheStoreErr.
 	Cache *TraceCache
+	// Store, when non-nil, persists replay results on disk (normally next
+	// to the trace cache), so a warm re-run of an identical sweep — or a
+	// sibling shard replaying the same (workload, variant, platform) —
+	// skips the replay too, not just the trace. Like the trace cache it is
+	// best-effort in both directions: a corrupt entry is recomputed with a
+	// warning and a failed write surfaces through CacheStoreErr.
+	Store *replaystore.Store
 
 	mu       sync.Mutex
 	pipes    map[pipeKey]*pipeline
@@ -47,6 +56,7 @@ type Runner struct {
 	ctTraceHits atomic.Int64
 	ctReplays   atomic.Int64
 	ctMemoHits  atomic.Int64
+	ctStoreHits atomic.Int64
 }
 
 // Counters is a snapshot of the runner's work and cache-hit accounting —
@@ -60,15 +70,20 @@ type Counters struct {
 	Replays int64
 	// ReplayMemoHits counts replays answered from the in-memory memo.
 	ReplayMemoHits int64
+	// ReplayStoreHits counts replays answered from the persistent store —
+	// work a previous process already paid for. A warm re-run of an
+	// identical sweep shows Traces == 0 and Replays == 0 here.
+	ReplayStoreHits int64
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Counters {
 	return Counters{
-		Traces:         r.ctTraces.Load(),
-		TraceCacheHits: r.ctTraceHits.Load(),
-		Replays:        r.ctReplays.Load(),
-		ReplayMemoHits: r.ctMemoHits.Load(),
+		Traces:          r.ctTraces.Load(),
+		TraceCacheHits:  r.ctTraceHits.Load(),
+		Replays:         r.ctReplays.Load(),
+		ReplayMemoHits:  r.ctMemoHits.Load(),
+		ReplayStoreHits: r.ctStoreHits.Load(),
 	}
 }
 
@@ -149,10 +164,10 @@ func (r *Runner) profiled(key pipeKey) (*overlap.ProfiledSet, error) {
 	return p.ps, p.err
 }
 
-// CacheStoreErr returns the first cache-write failure of the run, if any.
-// Store failures do not fail the sweep (the results are still correct and
-// complete); callers can surface them as a warning that the next run will
-// re-trace.
+// CacheStoreErr returns the first cache-write failure of the run — trace
+// cache or replay store — if any. Write failures do not fail the sweep
+// (the results are still correct and complete); callers can surface them
+// as a warning that the next run will recompute.
 func (r *Runner) CacheStoreErr() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -185,7 +200,12 @@ type memoEntry struct {
 // replayMemo memoizes replay.Simulate per (workload, variant, platform).
 // A sweep grid replays the same trace on the same platform once per other
 // axis value — e.g. every mechanism point re-replays the original trace —
-// and the memo collapses those duplicates.
+// and the memo collapses those duplicates. With a persistent Store
+// configured the memo is additionally backed by disk: a fill first
+// consults the store (a hit skips the simulation entirely — work some
+// earlier process paid for) and a simulated result is written back for
+// the next process. Store lookups happen only here, once per memo fill,
+// so they stay off the per-event replay hot path.
 func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error) {
 	key := memoKey{app: ts.Name, ranks: ts.NRanks(), variant: ts.Variant, platform: m}
 	// The platform name is presentation (it is rewritten by WithBandwidth);
@@ -205,6 +225,17 @@ func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error)
 		r.ctMemoHits.Add(1)
 	}
 	e.once.Do(func() {
+		var storeKey string
+		if r.Store != nil {
+			storeKey = r.Store.Key(key.app, key.ranks, r.Size, r.Iters, key.variant, key.platform)
+			if sr := r.Store.Load(storeKey); sr != nil {
+				r.ctStoreHits.Add(1)
+				e.total = sr.Total
+				e.steps = sr.Steps
+				e.blocked = sr.Blocked
+				return
+			}
+		}
 		r.ctReplays.Add(1)
 		res, err := replay.Simulate(ts, m)
 		if err != nil {
@@ -214,6 +245,18 @@ func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error)
 		e.total = res.Total
 		e.steps = res.Steps
 		e.blocked = res.MeanBlockedFraction()
+		if r.Store != nil {
+			err := r.Store.Store(storeKey, replaystore.Result{
+				Total: e.total, Steps: e.steps, Blocked: e.blocked,
+			})
+			if err != nil {
+				r.mu.Lock()
+				if r.storeErr == nil {
+					r.storeErr = err
+				}
+				r.mu.Unlock()
+			}
+		}
 	})
 	return e, e.err
 }
@@ -297,12 +340,14 @@ func (r *Runner) RunContext(ctx context.Context, g Grid) ([]Result, error) {
 // RunStreamContext is RunContext with incremental delivery: emit, when
 // non-nil, receives each point's result (with its expanded-point index)
 // the moment it completes — in completion order, unordered across indices.
-// Emit calls are serialized. The returned slice is still in expansion
-// order and byte-identical through the writers for any worker count, so
-// streaming consumers get partial answers early without giving up the
-// ordered final output. On cancellation, points that were already claimed
-// finish and still reach emit before RunStreamContext returns ctx.Err().
-func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index int, res Result)) ([]Result, error) {
+// Emit calls are serialized; an emit error aborts the sweep (reported as a
+// *SinkError), following the StreamContext contract. The returned slice is
+// still in expansion order and byte-identical through the writers for any
+// worker count, so streaming consumers get partial answers early without
+// giving up the ordered final output. On cancellation, points that were
+// already claimed finish and still reach emit before RunStreamContext
+// returns ctx.Err().
+func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index int, res Result) error) ([]Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -310,6 +355,61 @@ func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index i
 	return StreamContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
 	}, emit)
+}
+
+// RunSink runs the grid and delivers every result to the sink, retaining
+// nothing: the streaming execution path for campaign-scale grids whose
+// result sets should not live in memory. It is RunSinkContext without
+// cancellation.
+func (r *Runner) RunSink(g Grid, sink Sink) error {
+	return r.RunSinkContext(context.Background(), g, sink)
+}
+
+// RunSinkContext runs the grid, feeding each result to sink.Accept as it
+// completes (serialized, completion order). The runner never closes the
+// sink: on success the caller Closes to finalize the encoding, and on
+// cancellation the caller chooses — an OrderedSink Closed after an
+// interrupt keeps the flushed grid-order prefix, which is the partial-
+// results contract of `overlapsim sweep -stream-ordered`.
+func (r *Runner) RunSinkContext(ctx context.Context, g Grid, sink Sink) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	pts := g.Expand()
+	return EachContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
+		return r.RunPoint(pts[i])
+	}, func(i int, res Result) error { return sink.Accept(i, res) })
+}
+
+// RunIndicesSinkContext is RunSinkContext over only the given expanded-
+// point indices — the shard execution path. The sink sees expanded-grid
+// indices (not positions), so shard and unsharded runs feed any sink
+// identically.
+func (r *Runner) RunIndicesSinkContext(ctx context.Context, g Grid, indices []int, sink Sink) error {
+	pts, err := expandChecked(g, indices)
+	if err != nil {
+		return err
+	}
+	return EachContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
+		return r.RunPoint(pts[indices[j]])
+	}, func(j int, res Result) error { return sink.Accept(indices[j], res) })
+}
+
+// expandChecked validates the grid, expands it, and bounds-checks the
+// requested indices against the expansion — the shared preamble of every
+// indices-based entry point, kept in one place so the two execution paths
+// cannot diverge in what they accept.
+func expandChecked(g Grid, indices []int) ([]Point, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pts := g.Expand()
+	for _, i := range indices {
+		if i < 0 || i >= len(pts) {
+			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d)", i, len(pts))
+		}
+	}
+	return pts, nil
 }
 
 // RunIndices simulates only the given expanded-point indices of the grid —
@@ -330,19 +430,14 @@ func (r *Runner) RunIndicesContext(ctx context.Context, g Grid, indices []int) (
 // following the RunStreamContext contract. emit receives the expanded-point
 // index (indices[j], not j), so shard and unsharded streams label points
 // identically.
-func (r *Runner) RunIndicesStreamContext(ctx context.Context, g Grid, indices []int, emit func(index int, res Result)) ([]Result, error) {
-	if err := g.Validate(); err != nil {
+func (r *Runner) RunIndicesStreamContext(ctx context.Context, g Grid, indices []int, emit func(index int, res Result) error) ([]Result, error) {
+	pts, err := expandChecked(g, indices)
+	if err != nil {
 		return nil, err
 	}
-	pts := g.Expand()
-	for _, i := range indices {
-		if i < 0 || i >= len(pts) {
-			return nil, fmt.Errorf("sweep: point index %d out of range [0,%d)", i, len(pts))
-		}
-	}
-	var emitGrid func(j int, res Result)
+	var emitGrid func(j int, res Result) error
 	if emit != nil {
-		emitGrid = func(j int, res Result) { emit(indices[j], res) }
+		emitGrid = func(j int, res Result) error { return emit(indices[j], res) }
 	}
 	return StreamContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
 		return r.RunPoint(pts[indices[j]])

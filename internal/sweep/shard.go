@@ -260,13 +260,27 @@ func Merge(shards []*ShardFile) ([]Result, error) {
 		return nil, fmt.Errorf("sweep: merge of zero shards")
 	}
 	sig, total := shards[0].Signature, shards[0].Total
-	for _, sf := range shards[1:] {
+	// Report every disagreeing shard and, per shard, every disagreeing
+	// envelope field in one pass: an operator untangling a mixed campaign
+	// (shards of two different sweeps in one merge) needs the full picture,
+	// not one mismatch per invocation.
+	var mismatches []string
+	for i, sf := range shards[1:] {
+		var fields []string
 		if sf.Signature != sig {
-			return nil, fmt.Errorf("sweep: shard signature mismatch: %q vs %q (shards of different sweeps?)", sf.Signature, sig)
+			fields = append(fields, fmt.Sprintf("signature %q vs %q", sf.Signature, sig))
 		}
 		if sf.Total != total {
-			return nil, fmt.Errorf("sweep: shard total mismatch: %d vs %d", sf.Total, total)
+			fields = append(fields, fmt.Sprintf("total_points %d vs %d", sf.Total, total))
 		}
+		if len(fields) > 0 {
+			mismatches = append(mismatches,
+				fmt.Sprintf("shard %s (file %d): %s", sf.Shard, i+2, strings.Join(fields, "; ")))
+		}
+	}
+	if len(mismatches) > 0 {
+		return nil, fmt.Errorf("sweep: %d of %d shard files disagree with shard %s (file 1) — shards of different sweeps?\n  %s",
+			len(mismatches), len(shards), shards[0].Shard, strings.Join(mismatches, "\n  "))
 	}
 	// Exact coverage requires as many results as points, so check the
 	// cheap sum before allocating total-sized slices: a corrupt file with

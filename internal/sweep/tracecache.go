@@ -24,6 +24,13 @@ import (
 type TraceCache struct {
 	// Dir is the cache directory; it is created on first Store.
 	Dir string
+	// Warn, when non-nil, receives a one-line diagnostic whenever a
+	// present entry is ignored — truncated, corrupt, or paired with the
+	// wrong trace — and the workload re-traced (which rewrites the entry).
+	// Nil discards the diagnostics. The cache is an accelerator, never a
+	// correctness dependency: a bad entry costs one instrumented run, it
+	// cannot fail the sweep or corrupt results.
+	Warn func(msg string)
 }
 
 // traceKeyVersion is bumped whenever the trace or profile encodings (or the
@@ -64,32 +71,45 @@ func isMissing(err error) bool {
 	return errors.Is(err, fs.ErrNotExist) || errors.Is(err, syscall.ENOTDIR)
 }
 
-// Load returns the cached profiled set for the key, or (nil, nil) when the
-// entry does not exist — a missing file or cache directory (including a
-// torn entry with only one of its two files). A present but undecodable
-// entry is an error: silently re-tracing would hide cache corruption or a
-// mixed-version directory.
+// Load returns the cached profiled set for the key, or (nil, nil) when
+// there is no usable entry: a missing file or cache directory (including a
+// torn entry with only one of its two files), or a present entry that does
+// not decode — truncated, corrupt, or a profile that fails validation
+// against its trace. Undecodable entries are reported through Warn and
+// treated as a miss, so a damaged cache directory costs re-tracing, never
+// the sweep: the re-trace stores a fresh entry over the bad one. The error
+// return is reserved for failures that are not miss-equivalent; no current
+// path produces one.
 func (c *TraceCache) Load(key string) (*overlap.ProfiledSet, error) {
 	ts, err := trace.ReadFile(c.tracePath(key))
 	if isMissing(err) {
 		return nil, nil
 	}
 	if err != nil {
-		return nil, err
+		c.warnf("trace cache entry %s ignored (re-tracing): %v", key, err)
+		return nil, nil
 	}
 	pf, err := os.Open(c.profilePath(key))
 	if isMissing(err) {
 		return nil, nil
 	}
 	if err != nil {
-		return nil, err
+		c.warnf("trace cache entry %s ignored (re-tracing): %v", key, err)
+		return nil, nil
 	}
 	defer pf.Close()
 	ps, err := overlap.ReadProfiles(pf, ts)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: cache entry %s: %w", key, err)
+		c.warnf("trace cache entry %s ignored (re-tracing): %v", key, err)
+		return nil, nil
 	}
 	return ps, nil
+}
+
+func (c *TraceCache) warnf(format string, args ...any) {
+	if c.Warn != nil {
+		c.Warn(fmt.Sprintf(format, args...))
+	}
 }
 
 // Store writes the profiled set under the key, creating the cache

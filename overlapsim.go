@@ -38,6 +38,7 @@ import (
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/sweep"
+	"overlapsim/internal/sweep/replaystore"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/tracer"
 	"overlapsim/internal/units"
@@ -103,6 +104,24 @@ type (
 	// TraceCache persists profiled trace sets across processes so repeated
 	// sweeps and sibling shards skip the instrumented runs.
 	TraceCache = sweep.TraceCache
+	// ReplayStore persists replay results across processes (normally next
+	// to the trace cache), so a warm re-run of an identical sweep skips
+	// the replays too — zero instrumented runs AND zero replays, visible
+	// through SweepRunner.Stats.
+	ReplayStore = replaystore.Store
+	// SweepCounters is the runner's work accounting (instrumented runs,
+	// cache hits, replays, memo and store hits), returned by
+	// SweepRunner.Stats.
+	SweepCounters = sweep.Counters
+	// SweepSink consumes sweep results as they complete (out of order);
+	// batch writers, the ordered-prefix streamer and the shard envelope
+	// writer are its implementations, and SweepRunner.RunSink feeds any of
+	// them without retaining results in memory.
+	SweepSink = sweep.Sink
+	// OrderedSweepSink streams results in grid order, flushing the longest
+	// finished prefix as it becomes contiguous; its completed output is
+	// byte-identical to the batch writers.
+	OrderedSweepSink = sweep.OrderedSink
 )
 
 // Re-exported unit types.
@@ -192,6 +211,34 @@ func WriteSweepResults(w io.Writer, format string, results []SweepResult) error 
 	}
 	return sweep.Write(w, f, results)
 }
+
+// NewBatchSweepSink returns a sink that buffers results and writes the
+// complete encoding ("table", "csv" or "json") on Close — the batch
+// writers as a SweepSink.
+func NewBatchSweepSink(w io.Writer, format string) (SweepSink, error) {
+	f, err := sweep.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.NewBatchSink(w, f), nil
+}
+
+// NewOrderedSweepSink returns an ordered-prefix streaming sink for the
+// grid: results flush to w in grid order as the finished prefix grows, and
+// the completed output is byte-identical to WriteSweepResults. Close after
+// an interrupted run to keep a well-formed partial encoding of the prefix.
+func NewOrderedSweepSink(w io.Writer, format string, g SweepGrid) (*OrderedSweepSink, error) {
+	f, err := sweep.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.NewOrderedSink(w, f, g.Expand(), nil), nil
+}
+
+// NewReplayStore returns a persistent replay-result store rooted at dir,
+// for a SweepRunner's Store field. Point it at the same directory as the
+// TraceCache: the key schemes are version-prefixed and coexist.
+func NewReplayStore(dir string) *ReplayStore { return &replaystore.Store{Dir: dir} }
 
 // RunExperiment runs one of the paper's experiments (f1, e1, e2, e2f, e3,
 // a1, a2, a3, b1) and writes its tables to w.

@@ -2,10 +2,12 @@
 # campaign.sh — shard-aware local campaign driver.
 #
 # Launches N `overlapsim sweep -shard k/N` processes in parallel, all
-# sharing one persistent trace cache so each workload is traced once
-# campaign-wide, then merges the shard files into the final output. The
-# merge verifies exactly-once coverage, and the result is byte-identical
-# to running the same sweep unsharded.
+# sharing one persistent cache directory — the trace cache (each workload
+# is traced once campaign-wide) and the replay store (each replay is
+# simulated once campaign-wide; a re-run of the same campaign replays
+# nothing at all) — then merges the shard files into the final output.
+# The merge verifies exactly-once coverage, and the result is
+# byte-identical to running the same sweep unsharded.
 #
 # Usage (normally driven by `make campaign`):
 #   N=4 OUT=campaign.csv FORMAT=csv CACHE=trace-cache ./scripts/campaign.sh \
