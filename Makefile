@@ -9,7 +9,7 @@ FORMAT ?= csv
 CACHE ?= trace-cache
 ARGS ?= -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare campaign lint fmt
+.PHONY: all build test race bench bench-smoke bench-json bench-compare campaign serve lint fmt
 
 all: build test
 
@@ -60,6 +60,12 @@ bench-compare: bench-json
 #   make campaign N=8 OUT=grid.csv ARGS="-apps bt,cg -bws 64MB/s,1GB/s"
 campaign:
 	N=$(N) OUT=$(OUT) FORMAT=$(FORMAT) CACHE=$(CACHE) GO=$(GO) ./scripts/campaign.sh $(ARGS)
+
+# Local sweep daemon sharing the campaign cache directory: submit grids
+# with POST /sweeps (docs/API.md), inspect the cache with
+# `overlapsim cache ls -dir $(CACHE)`.
+serve:
+	$(GO) run ./cmd/overlapsim serve -addr localhost:8677 -cache-dir $(CACHE)
 
 lint:
 	$(GO) vet ./...

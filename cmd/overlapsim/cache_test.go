@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// warmCache populates dir with real entries of both kinds via a tiny
+// cached sweep, and returns the entry count.
+func warmCache(t *testing.T, dir string) int {
+	t.Helper()
+	var out bytes.Buffer
+	args := []string{"-apps", "pingpong", "-size", "256", "-iters", "1",
+		"-format", "csv", "-cache-dir", dir}
+	if err := runSweep(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+func TestRunCacheLs(t *testing.T) {
+	dir := t.TempDir()
+	warmCache(t, dir)
+	// Plant a stale-version leftover to show up flagged.
+	stale := filepath.Join(dir, "t0-old-r2-c8-s0-i0.trace")
+	if err := os.WriteFile(stale, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runCache([]string{"ls", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"trace", "replay", "(stale)", "entries,"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ls output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunCachePrune: -stale removes exactly the planted old-version
+// entries — dry-run first (nothing removed), then for real — and a pruned
+// cache still answers the next sweep correctly.
+func TestRunCachePrune(t *testing.T) {
+	dir := t.TempDir()
+	live := warmCache(t, dir)
+	for _, name := range []string{"t0-old-r2-c8-s0-i0.trace", "t0-old-r2-c8-s0-i0.profile", "rs0-old.replay"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var dry bytes.Buffer
+	if err := runCache([]string{"prune", "-dir", dir, "-stale", "-dry-run"}, &dry); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dry.String(), "would remove 2 of") {
+		t.Errorf("dry run summary:\n%s", dry.String())
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != live+3 {
+		t.Errorf("dry run removed files: %d entries, want %d", len(entries), live+3)
+	}
+
+	var out bytes.Buffer
+	if err := runCache([]string{"prune", "-dir", dir, "-stale"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "removed 2 of") {
+		t.Errorf("prune summary:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != live {
+		t.Errorf("after prune: %d entries, want the %d live ones", len(entries), live)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "t0-") || strings.HasPrefix(e.Name(), "rs0-") {
+			t.Errorf("stale entry survived: %s", e.Name())
+		}
+	}
+
+	// The surviving current entries still serve a warm sweep.
+	var cold, warm bytes.Buffer
+	args := []string{"-apps", "pingpong", "-size", "256", "-iters", "1",
+		"-format", "csv", "-cache-dir", dir}
+	if err := runSweep(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-workers", "1"}, args...), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("post-prune warm sweep differs:\n%s\n---\n%s", cold.String(), warm.String())
+	}
+}
+
+// TestRunCachePruneMaxSize: a zero budget with a huge max-size keeps
+// everything; a 1-byte budget empties the cache.
+func TestRunCachePruneMaxSize(t *testing.T) {
+	dir := t.TempDir()
+	warmCache(t, dir)
+
+	var keepAll bytes.Buffer
+	if err := runCache([]string{"prune", "-dir", dir, "-max-size", "1GB"}, &keepAll); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(keepAll.String(), "removed 0 of") {
+		t.Errorf("1GB budget should keep everything:\n%s", keepAll.String())
+	}
+
+	var out bytes.Buffer
+	if err := runCache([]string{"prune", "-dir", dir, "-max-size", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("1-byte budget left %v", names)
+	}
+}
+
+func TestRunCacheErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := runCache([]string{}, &sink); err == nil {
+		t.Error("no subcommand: expected error")
+	}
+	if err := runCache([]string{"defrag"}, &sink); err == nil {
+		t.Error("unknown subcommand: expected error")
+	}
+	if err := runCache([]string{"ls"}, &sink); err == nil {
+		t.Error("ls without -dir: expected error")
+	}
+	if err := runCache([]string{"prune", "-dir", t.TempDir()}, &sink); err == nil ||
+		!strings.Contains(err.Error(), "criterion") {
+		t.Errorf("prune without criteria: got %v", err)
+	}
+	if err := runCache([]string{"prune", "-dir", t.TempDir(), "-max-size", "lots"}, &sink); err == nil {
+		t.Error("bad -max-size: expected error")
+	}
+	// ls of a missing directory is an empty cache, not an error.
+	if err := runCache([]string{"ls", "-dir", filepath.Join(t.TempDir(), "never")}, &sink); err != nil {
+		t.Errorf("ls of missing dir: %v", err)
+	}
+}

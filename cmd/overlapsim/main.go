@@ -17,6 +17,11 @@
 //	                 [-shard k/N] [-cache-dir dir] [-progress] [-stream]
 //	                 [-stream-ordered] [platform flags]
 //	overlapsim merge [-format table|csv|json] [-o|-out file] <shard.json> ...
+//	overlapsim serve [-addr host:port] [-cache-dir dir] [-results-dir dir]
+//	                 [-max-concurrent N] [-max-queued N] [-max-points N]
+//	                 [-workers N] [-quiet] [platform flags]
+//	overlapsim cache ls -dir <cache-dir>
+//	overlapsim cache prune -dir <cache-dir> [-stale] [-max-age D] [-max-size B] [-dry-run]
 //
 // Axis flags are repeatable: -latencies 5us,20us and -latencies 5us
 // -latencies 20us declare the same axis. The platform axes (latencies,
@@ -30,6 +35,13 @@
 // the mergeable envelope. -cache-dir persists both traces and replay
 // results, so an identical re-run performs zero instrumented runs and zero
 // replays (see the sweep: work: line).
+//
+// serve turns that pipeline into a daemon: sweeps arrive as JSON over
+// POST /sweeps and stream back in grid order, every request sharing one
+// cache directory so repeat queries do zero instrumented runs and zero
+// replays (docs/API.md has the wire contract, docs/OPERATIONS.md the
+// runbook). cache ls and cache prune inspect and bound that shared
+// directory by key version, age, and total size.
 package main
 
 import (
@@ -69,6 +81,10 @@ func main() {
 		err = runSweep(os.Args[2:], os.Stdout)
 	case "merge":
 		err = runMerge(os.Args[2:], os.Stdout)
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "cache":
+		err = runCache(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -88,7 +104,9 @@ func usage() {
   overlapsim run <id>|all [-quick] [flags]        regenerate the paper's evaluation
   overlapsim study -app <name> [flags]            one-off overlap study with visualization
   overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)
-  overlapsim merge [flags] <shard.json> ...       recombine sweep shard outputs`)
+  overlapsim merge [flags] <shard.json> ...       recombine sweep shard outputs
+  overlapsim serve [flags]                        sweep-as-a-service HTTP daemon (docs/API.md)
+  overlapsim cache ls|prune -dir <dir> [flags]    inspect and prune a shared cache directory`)
 }
 
 func runList() error {

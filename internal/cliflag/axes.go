@@ -87,7 +87,7 @@ func (a *SweepAxes) Grid() (sweep.Grid, error) {
 	if g.RanksPerNode, err = parseIntList(a.rpns.items, "rpns"); err != nil {
 		return g, err
 	}
-	if g.EagerThresholds, err = parseEagerList(a.eagers.items); err != nil {
+	if g.EagerThresholds, err = ParseEagerThresholds(a.eagers.items); err != nil {
 		return g, err
 	}
 	if g.Collectives, err = ParseCollectives(a.collectives.items); err != nil {
@@ -132,10 +132,11 @@ func parseDurationList(items []string, name string) ([]units.Duration, error) {
 	return out, nil
 }
 
-// parseEagerList parses the -eagers axis. Besides byte sizes it accepts
-// "all": every message eager, the machine model's negative-threshold
-// convention, which units.ParseBytes cannot express.
-func parseEagerList(items []string) ([]units.Bytes, error) {
+// ParseEagerThresholds parses eager-threshold axis values as the -eagers
+// flag (and the serve API's eager_thresholds field) accepts them. Besides
+// byte sizes it accepts "all": every message eager, the machine model's
+// negative-threshold convention, which units.ParseBytes cannot express.
+func ParseEagerThresholds(items []string) ([]units.Bytes, error) {
 	var out []units.Bytes
 	for _, item := range items {
 		if item == "all" {
@@ -144,7 +145,7 @@ func parseEagerList(items []string) ([]units.Bytes, error) {
 		}
 		b, err := units.ParseBytes(item)
 		if err != nil {
-			return nil, fmt.Errorf("bad -eagers element: %w", err)
+			return nil, fmt.Errorf("bad eager-threshold value: %w", err)
 		}
 		out = append(out, b)
 	}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBusy is Admit's overflow verdict: every run slot is taken and the
+// wait queue is full. The HTTP layer maps it to 429 Too Many Requests.
+var ErrBusy = errors.New("serve: at capacity (every run slot taken and the queue full)")
+
+// queue is the admission controller: at most maxConcurrent admitted
+// (running) sweeps, at most maxQueued waiting ones, and an immediate
+// ErrBusy beyond that — overload sheds new requests instead of degrading
+// the sweeps already running. Admission is instantaneous when a slot is
+// free, blocking while queued, and never blocks on overflow.
+type queue struct {
+	slots chan struct{} // capacity maxConcurrent, holds free-slot tokens
+
+	mu        sync.Mutex
+	queued    int
+	maxQueued int
+}
+
+// newQueue returns a queue with the given limits; both are clamped to at
+// least one running slot and a non-negative wait queue.
+func newQueue(maxConcurrent, maxQueued int) *queue {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	slots := make(chan struct{}, maxConcurrent)
+	for i := 0; i < maxConcurrent; i++ {
+		slots <- struct{}{}
+	}
+	return &queue{slots: slots, maxQueued: maxQueued}
+}
+
+// Admit acquires a run slot, waiting in the bounded queue when none is
+// free. It returns nil holding a slot (the caller must Release), ErrBusy
+// immediately when the queue is full, or ctx.Err() when the caller's
+// context is cancelled while waiting (a client that hung up, or a DELETE
+// on the queued job).
+func (q *queue) Admit(ctx context.Context) error {
+	q.mu.Lock()
+	select {
+	case <-q.slots:
+		q.mu.Unlock()
+		return nil
+	default:
+	}
+	if q.queued >= q.maxQueued {
+		q.mu.Unlock()
+		return ErrBusy
+	}
+	q.queued++
+	q.mu.Unlock()
+	defer func() {
+		q.mu.Lock()
+		q.queued--
+		q.mu.Unlock()
+	}()
+	select {
+	case <-q.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a run slot. It must be called exactly once per
+// successful Admit.
+func (q *queue) Release() {
+	q.slots <- struct{}{}
+}
+
+// Queued reports how many admissions are currently waiting.
+func (q *queue) Queued() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// Running reports how many run slots are currently held.
+func (q *queue) Running() int {
+	return cap(q.slots) - len(q.slots)
+}

@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"sort"
+	"time"
+
+	"overlapsim/internal/sweep/replaystore"
+)
+
+// This file is the cache-operability layer behind `overlapsim cache`: a
+// unified view over the two persistent caches that share one directory —
+// trace/profile pairs (TraceCache) and replay results (replaystore) — and
+// the version/age/size prune policy a long-running deployment needs to
+// survive months of traffic without the cache directory growing without
+// bound or dragging dead-format entries along.
+
+// Cache entry kinds, as CacheEntry.Kind reports them.
+const (
+	CacheKindTrace  = "trace"
+	CacheKindReplay = "replay"
+)
+
+// CacheEntry is one entry of the shared cache directory, either kind.
+type CacheEntry struct {
+	// Kind is CacheKindTrace (a .trace/.profile pair) or CacheKindReplay
+	// (a .replay file).
+	Kind string
+	// Key is the entry's cache key (its files' shared base name).
+	Key string
+	// Version is the key's format-version prefix. Current versions are
+	// TraceCacheVersion and replaystore.FormatVersion; anything else is a
+	// leftover from an older build that can only ever miss.
+	Version string
+	// Paths are the entry's files (two for a complete trace entry, one
+	// for a torn one or a replay entry).
+	Paths []string
+	// Size is the total size of the entry's files in bytes.
+	Size int64
+	// ModTime is the newest modification time across the entry's files.
+	ModTime time.Time
+}
+
+// Current reports whether the entry's key version is the one this build
+// reads — a non-current entry can only ever miss.
+func (e CacheEntry) Current() bool {
+	switch e.Kind {
+	case CacheKindTrace:
+		return e.Version == TraceCacheVersion
+	case CacheKindReplay:
+		return e.Version == replaystore.FormatVersion
+	}
+	return false
+}
+
+// CacheEntries enumerates every entry of a shared cache directory — trace
+// entries first, then replay entries, each group sorted by key — so `cache
+// ls` and the prune planner see one deterministic list. A missing
+// directory is an empty cache.
+func CacheEntries(dir string) ([]CacheEntry, error) {
+	tc := &TraceCache{Dir: dir}
+	traces, err := tc.Entries()
+	if err != nil {
+		return nil, err
+	}
+	rs := &replaystore.Store{Dir: dir}
+	replays, err := rs.Entries()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CacheEntry, 0, len(traces)+len(replays))
+	for _, t := range traces {
+		out = append(out, CacheEntry{
+			Kind: CacheKindTrace, Key: t.Key, Version: t.Version,
+			Paths: t.Paths, Size: t.Size, ModTime: t.ModTime,
+		})
+	}
+	for _, r := range replays {
+		out = append(out, CacheEntry{
+			Kind: CacheKindReplay, Key: r.Key, Version: r.Version,
+			Paths: []string{r.Path}, Size: r.Size, ModTime: r.ModTime,
+		})
+	}
+	return out, nil
+}
+
+// PrunePolicy selects which cache entries to remove. The zero policy
+// selects nothing; each criterion is enabled independently and they
+// compose: stale-version and over-age entries go first, then the size
+// budget evicts oldest-first from what remains.
+type PrunePolicy struct {
+	// Stale removes entries whose key version is not the current build's
+	// (TraceCacheVersion / replaystore.FormatVersion). Such entries can
+	// never hit again and only cost disk.
+	Stale bool
+	// MaxAge, when positive, removes entries whose newest file is older
+	// than MaxAge at Now.
+	MaxAge time.Duration
+	// MaxSize, when positive, is the total-size budget in bytes: after the
+	// version and age criteria, the oldest remaining entries are evicted
+	// until the rest fit. Recency approximates usefulness — the entries a
+	// warm re-run touches are the ones most recently (re)written.
+	MaxSize int64
+	// Now anchors the age criterion; the zero value means time.Now().
+	Now time.Time
+}
+
+// Empty reports whether the policy selects nothing — `cache prune` rejects
+// it rather than silently doing no work.
+func (p PrunePolicy) Empty() bool {
+	return !p.Stale && p.MaxAge <= 0 && p.MaxSize <= 0
+}
+
+// Plan partitions entries into those the policy removes (doomed) and those
+// it keeps, without touching the filesystem — `cache prune -dry-run` is
+// Plan without the removal, and tests pin the policy on synthetic entries.
+// Both returned slices preserve the input's relative order, so output is
+// deterministic for a deterministic scan.
+func (p PrunePolicy) Plan(entries []CacheEntry) (doomed, kept []CacheEntry) {
+	now := p.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	doomedAt := make([]bool, len(entries))
+	var keptSize int64
+	for i, e := range entries {
+		switch {
+		case p.Stale && !e.Current():
+			doomedAt[i] = true
+		case p.MaxAge > 0 && now.Sub(e.ModTime) > p.MaxAge:
+			doomedAt[i] = true
+		default:
+			keptSize += e.Size
+		}
+	}
+	if p.MaxSize > 0 && keptSize > p.MaxSize {
+		// Oldest-first eviction over the survivors. Ties break by key so
+		// the plan is stable when a whole campaign lands in one second.
+		order := make([]int, 0, len(entries))
+		for i := range entries {
+			if !doomedAt[i] {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := entries[order[a]], entries[order[b]]
+			if !ea.ModTime.Equal(eb.ModTime) {
+				return ea.ModTime.Before(eb.ModTime)
+			}
+			return ea.Key < eb.Key
+		})
+		for _, i := range order {
+			if keptSize <= p.MaxSize {
+				break
+			}
+			doomedAt[i] = true
+			keptSize -= entries[i].Size
+		}
+	}
+	for i, e := range entries {
+		if doomedAt[i] {
+			doomed = append(doomed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	return doomed, kept
+}
+
+// RemoveCacheEntry deletes one entry's files. Files already gone are not
+// errors (a concurrent prune or atomic rewrite got there first).
+func RemoveCacheEntry(e CacheEntry) error {
+	var errs []error
+	for _, path := range e.Paths {
+		if err := os.Remove(path); err != nil && !isMissing(err) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/machine"
+)
+
+// teeResults builds a small deterministic result set for the tee tests.
+func teeResults(t *testing.T) []Result {
+	t.Helper()
+	g := Grid{Apps: []string{"pingpong"}, Chunks: []int{2, 4, 8}}
+	r := NewRunner(machine.Default())
+	r.Size = 256
+	r.Iters = 1
+	results, err := r.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestTeeSinkFeedsEveryLegIdentically: both legs of a tee see every result,
+// so two batch sinks fed through one tee encode byte-identical output —
+// and identical to feeding a single sink directly.
+func TestTeeSinkFeedsEveryLegIdentically(t *testing.T) {
+	results := teeResults(t)
+
+	var direct bytes.Buffer
+	ds := NewBatchSink(&direct, FormatCSV)
+	for i, r := range results {
+		if err := ds.Accept(i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	tee := NewTeeSink(NewBatchSink(&a, FormatCSV), NewBatchSink(&b, FormatCSV))
+	for i, r := range results {
+		if err := tee.Accept(i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("tee legs diverged:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !bytes.Equal(a.Bytes(), direct.Bytes()) {
+		t.Errorf("tee leg differs from direct sink:\n%s\n---\n%s", a.String(), direct.String())
+	}
+	if a.Len() == 0 {
+		t.Error("tee produced empty output")
+	}
+}
+
+// failingSink fails on the nth Accept and counts Close calls.
+type failingSink struct {
+	failAt  int
+	n       int
+	closed  int
+	failErr error
+}
+
+func (f *failingSink) Accept(index int, r Result) error {
+	f.n++
+	if f.n >= f.failAt {
+		if f.failErr == nil {
+			f.failErr = errors.New("leg failed")
+		}
+		return f.failErr
+	}
+	return nil
+}
+
+func (f *failingSink) Close() error { f.closed++; return nil }
+
+// TestTeeSinkStickyFailure: the first leg failure makes the tee fail and
+// stick — later Accepts return the same error without reaching any leg —
+// and Close still closes every leg and reports the failure.
+func TestTeeSinkStickyFailure(t *testing.T) {
+	results := teeResults(t)
+	bad := &failingSink{failAt: 2}
+	good := &failingSink{failAt: 1 << 30}
+	tee := NewTeeSink(bad, good)
+
+	if err := tee.Accept(0, results[0]); err != nil {
+		t.Fatalf("first accept: %v", err)
+	}
+	err := tee.Accept(1, results[1])
+	if err == nil {
+		t.Fatal("expected failure on second accept")
+	}
+	// Sticky: the same error, and the legs see nothing further.
+	goodN := good.n
+	if err2 := tee.Accept(2, results[2]); !errors.Is(err2, bad.failErr) {
+		t.Errorf("sticky accept: got %v, want %v", err2, bad.failErr)
+	}
+	if good.n != goodN {
+		t.Error("a result reached a leg after the tee failed")
+	}
+	cerr := tee.Close()
+	if cerr == nil || !strings.Contains(cerr.Error(), "leg failed") {
+		t.Errorf("Close after failure: got %v, want the sticky leg error", cerr)
+	}
+	if bad.closed != 1 || good.closed != 1 {
+		t.Errorf("Close must close every leg: bad=%d good=%d", bad.closed, good.closed)
+	}
+}
+
+// TestTeeSinkEmpty: a tee of zero sinks accepts and closes cleanly.
+func TestTeeSinkEmpty(t *testing.T) {
+	tee := NewTeeSink()
+	if err := tee.Accept(0, Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Accept(1, Result{}); err == nil {
+		t.Error("accept after close should fail")
+	}
+}

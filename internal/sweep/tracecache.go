@@ -7,8 +7,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"overlapsim/internal/overlap"
 	"overlapsim/internal/trace"
@@ -33,10 +35,12 @@ type TraceCache struct {
 	Warn func(msg string)
 }
 
-// traceKeyVersion is bumped whenever the trace or profile encodings (or the
+// TraceCacheVersion is the trace cache's key-format version. It prefixes
+// every key and is bumped whenever the trace or profile encodings (or the
 // tracer's semantics) change incompatibly, so stale caches miss instead of
-// corrupting results.
-const traceKeyVersion = "t1"
+// corrupting results. Entries carrying any other version are what
+// `overlapsim cache prune -stale` removes.
+const TraceCacheVersion = "t1"
 
 // Key returns the cache key of one instrumented run. Every parameter that
 // shapes the traced workload is part of the key: the application, its rank
@@ -44,7 +48,7 @@ const traceKeyVersion = "t1"
 // problem scale. Keys are stable across processes and releases of the same
 // format version; tests pin golden values.
 func (c *TraceCache) Key(app string, ranks, chunks, size, iters int) string {
-	return fmt.Sprintf("%s-%s-r%d-c%d-s%d-i%d", traceKeyVersion, sanitizeKey(app), ranks, chunks, size, iters)
+	return fmt.Sprintf("%s-%s-r%d-c%d-s%d-i%d", TraceCacheVersion, sanitizeKey(app), ranks, chunks, size, iters)
 }
 
 // sanitizeKey keeps keys safe as file names: anything outside
@@ -110,6 +114,100 @@ func (c *TraceCache) warnf(format string, args ...any) {
 	if c.Warn != nil {
 		c.Warn(fmt.Sprintf(format, args...))
 	}
+}
+
+// TraceEntry describes one trace-cache entry on disk: a <key>.trace /
+// <key>.profile pair (or a torn half of one) plus the accounting the
+// cache-operability tooling needs to apply version, age and size policy.
+type TraceEntry struct {
+	// Key is the entry's cache key — the shared base name of its files.
+	Key string
+	// Version is the key's format-version prefix (the token before the
+	// first '-'); entries written by this build carry TraceCacheVersion.
+	Version string
+	// Paths are the entry's files that exist, absolute or dir-relative as
+	// the cache's Dir is. A complete entry has two; a torn one, one.
+	Paths []string
+	// Size is the total size of the entry's files in bytes.
+	Size int64
+	// ModTime is the newest modification time across the entry's files —
+	// the age the prune policy measures.
+	ModTime time.Time
+}
+
+// Entries enumerates the cache directory's trace entries, grouped by key
+// and sorted by key for deterministic output. A missing directory is an
+// empty cache, not an error; files that are neither .trace nor .profile
+// are ignored (the replay store shares the directory).
+func (c *TraceCache) Entries() ([]TraceEntry, error) {
+	des, err := os.ReadDir(c.Dir)
+	if isMissing(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cache: %w", err)
+	}
+	byKey := map[string]*TraceEntry{}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		ext := filepath.Ext(name)
+		if ext != ".trace" && ext != ".profile" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			// The file vanished between listing and stat (a concurrent
+			// prune or atomic rewrite); skip it rather than fail the scan.
+			continue
+		}
+		key := strings.TrimSuffix(name, ext)
+		e := byKey[key]
+		if e == nil {
+			e = &TraceEntry{Key: key, Version: keyVersion(key)}
+			byKey[key] = e
+		}
+		e.Paths = append(e.Paths, filepath.Join(c.Dir, name))
+		e.Size += info.Size()
+		if info.ModTime().After(e.ModTime) {
+			e.ModTime = info.ModTime()
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]TraceEntry, 0, len(keys))
+	for _, k := range keys {
+		sort.Strings(byKey[k].Paths)
+		out = append(out, *byKey[k])
+	}
+	return out, nil
+}
+
+// Remove deletes the entry's files — both of them, so a prune can never
+// leave a torn pair behind. A file already gone is not an error (a
+// concurrent prune or rewrite got there first).
+func (c *TraceCache) Remove(key string) error {
+	var errs []error
+	for _, path := range []string{c.tracePath(key), c.profilePath(key)} {
+		if err := os.Remove(path); err != nil && !isMissing(err) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// keyVersion extracts a cache key's format-version prefix: the token
+// before the first '-', or the whole key if it has none.
+func keyVersion(key string) string {
+	if i := strings.IndexByte(key, '-'); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // Store writes the profiled set under the key, creating the cache

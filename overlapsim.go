@@ -37,6 +37,7 @@ import (
 	"overlapsim/internal/experiment"
 	"overlapsim/internal/machine"
 	"overlapsim/internal/overlap"
+	"overlapsim/internal/serve"
 	"overlapsim/internal/sweep"
 	"overlapsim/internal/sweep/replaystore"
 	"overlapsim/internal/trace"
@@ -122,6 +123,29 @@ type (
 	// finished prefix as it becomes contiguous; its completed output is
 	// byte-identical to the batch writers.
 	OrderedSweepSink = sweep.OrderedSink
+)
+
+// Re-exported sweep-as-a-service and cache-operability types. SweepServer
+// is the HTTP daemon behind `overlapsim serve`: grids arrive as JSON over
+// POST /sweeps and stream back in grid order, with every request sharing
+// one TraceCache and ReplayStore so repeat queries do zero instrumented
+// runs and zero replays (docs/API.md documents the wire contract).
+// CacheEntry and CachePrunePolicy are the enumeration and retention layer
+// behind `overlapsim cache ls` / `cache prune`.
+type (
+	// SweepServerConfig configures a SweepServer (cache and results
+	// directories, admission limits, base platform).
+	SweepServerConfig = serve.Config
+	// SweepServer serves sweeps over HTTP; mount Handler() wherever.
+	SweepServer = serve.Server
+	// SweepJobStatus is the status document of one served sweep job.
+	SweepJobStatus = serve.JobStatus
+	// CacheEntry is one entry of a shared cache directory, either kind
+	// (trace/profile pair or replay result).
+	CacheEntry = sweep.CacheEntry
+	// CachePrunePolicy selects cache entries to remove by key version,
+	// age, and total-size budget; Plan is pure, RemoveCacheEntry applies.
+	CachePrunePolicy = sweep.PrunePolicy
 )
 
 // Re-exported unit types.
@@ -234,6 +258,25 @@ func NewOrderedSweepSink(w io.Writer, format string, g SweepGrid) (*OrderedSweep
 	}
 	return sweep.NewOrderedSink(w, f, g.Expand(), nil), nil
 }
+
+// NewSweepServer returns the sweep-as-a-service HTTP server for the
+// config; serve its Handler() with net/http. `overlapsim serve` is this
+// plus flag parsing and signal handling.
+func NewSweepServer(cfg SweepServerConfig) *SweepServer { return serve.New(cfg) }
+
+// NewTeeSweepSink returns a sink that forwards every result to each leg,
+// so one sweep can feed several outputs (e.g. a network stream and a
+// file) at once. It fails sticky on the first leg error and Close closes
+// every leg.
+func NewTeeSweepSink(legs ...SweepSink) SweepSink { return sweep.NewTeeSink(legs...) }
+
+// CacheEntries enumerates a shared cache directory (traces then replay
+// results, each sorted by key). A missing directory is an empty cache.
+func CacheEntries(dir string) ([]CacheEntry, error) { return sweep.CacheEntries(dir) }
+
+// RemoveCacheEntry deletes one cache entry's files; files already gone
+// are not errors.
+func RemoveCacheEntry(e CacheEntry) error { return sweep.RemoveCacheEntry(e) }
 
 // NewReplayStore returns a persistent replay-result store rooted at dir,
 // for a SweepRunner's Store field. Point it at the same directory as the
