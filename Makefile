@@ -9,7 +9,10 @@ FORMAT ?= csv
 CACHE ?= trace-cache
 ARGS ?= -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare campaign serve lint fmt
+.PHONY: all build test race bench bench-smoke bench-json bench-compare campaign serve lint fmt fuzz
+
+# Per-target fuzzing budget for the fuzz target (Go duration).
+FUZZTIME ?= 20s
 
 all: build test
 
@@ -66,6 +69,14 @@ campaign:
 # `overlapsim cache ls -dir $(CACHE)`.
 serve:
 	$(GO) run ./cmd/overlapsim serve -addr localhost:8677 -cache-dir $(CACHE)
+
+# Budgeted fuzzing pass over the three replay-core targets. The committed
+# corpora under testdata/fuzz replay on every plain `go test`; this target
+# spends FUZZTIME per target looking for new crashers.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME) ./internal/replay
 
 lint:
 	$(GO) vet ./...

@@ -16,6 +16,10 @@
 //	                 [-workers N] [-format table|csv|json] [-o|-out file]
 //	                 [-shard k/N] [-cache-dir dir] [-progress] [-stream]
 //	                 [-stream-ordered] [platform flags]
+//	overlapsim tracegen [-pattern ring|stencil2d|alltoall|masterworker|randomsparse]
+//	                 [-ranks N -iters N -msg B -msg-dist D -comp N -comp-dist D]
+//	                 [-imb F -jit F -deg N -seed N] | [-spec gen:...]
+//	                 [-chunks N] [-variant V] [-o|-out file] [-replay [platform flags]]
 //	overlapsim merge [-format table|csv|json] [-o|-out file] <shard.json> ...
 //	overlapsim serve [-addr host:port] [-cache-dir dir] [-results-dir dir]
 //	                 [-max-concurrent N] [-max-queued N] [-max-points N]
@@ -27,6 +31,12 @@
 // -latencies 20us declare the same axis. The platform axes (latencies,
 // buscounts, rpns, eagers, colls) are replay-only: every platform point
 // shares one instrumented run per (app, ranks, chunks) workload.
+//
+// The -gen-* axes sweep synthetic workload *shape*: their cross product
+// joins the app axis as canonical "gen:..." tracegen specs, which behave
+// like bundled apps everywhere (cache keys, signatures, shards, serve).
+// overlapsim tracegen generates a single such workload standalone and
+// echoes its canonical spec string for reuse with sweep -apps.
 //
 // Results flow through sweep.Sink implementations: the default batch sink
 // writes the complete encoding after the last point, -stream-ordered flushes
@@ -79,6 +89,8 @@ func main() {
 		err = runStudy(os.Args[2:])
 	case "sweep":
 		err = runSweep(os.Args[2:], os.Stdout)
+	case "tracegen":
+		err = runTracegen(os.Args[2:], os.Stdout)
 	case "merge":
 		err = runMerge(os.Args[2:], os.Stdout)
 	case "serve":
@@ -104,6 +116,7 @@ func usage() {
   overlapsim run <id>|all [-quick] [flags]        regenerate the paper's evaluation
   overlapsim study -app <name> [flags]            one-off overlap study with visualization
   overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)
+  overlapsim tracegen [-pattern P] [flags]        generate a synthetic workload trace (or -replay it)
   overlapsim merge [flags] <shard.json> ...       recombine sweep shard outputs
   overlapsim serve [flags]                        sweep-as-a-service HTTP daemon (docs/API.md)
   overlapsim cache ls|prune -dir <dir> [flags]    inspect and prune a shared cache directory`)

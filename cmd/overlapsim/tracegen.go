@@ -1,0 +1,171 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"overlapsim/internal/cliflag"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracegen"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// runTracegen generates a synthetic workload trace: it builds a tracegen
+// spec from flags (or parses a full canonical spec), runs it once on the
+// instrumented tracer runtime, and writes the requested variant as a text
+// trace to -o or stdout — ready to pipe into `dimemas -trace /dev/stdin`
+// — or replays it directly with -replay. The canonical spec string is
+// echoed to stderr so the exact workload can be reused with
+// `overlapsim sweep -apps 'gen:...'`.
+func runTracegen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
+	specFlag := fs.String("spec", "", "full spec string (gen:pattern,key=value,...); overrides the individual workload flags")
+	pattern := fs.String("pattern", "ring", "communication pattern: ring, stencil2d, alltoall, masterworker, randomsparse")
+	ranks := fs.Int("ranks", 0, "rank count (0 = default 8)")
+	iters := fs.Int("iters", 0, "iterations (0 = default 4)")
+	msg := fs.String("msg", "", "base message size, e.g. 4KB (empty = default 4096)")
+	msgDist := fs.String("msg-dist", "", "message-size distribution: fixed, uniform, bimodal (empty = fixed)")
+	comp := fs.Int64("comp", -1, "base compute burst in instructions (-1 = default 20000)")
+	compDist := fs.String("comp-dist", "", "compute-burst distribution: fixed, uniform, bimodal (empty = fixed)")
+	imb := fs.Float64("imb", 0, "per-rank imbalance factor, 1 = balanced (0 = default 1)")
+	jit := fs.Float64("jit", -1, "burst jitter in [0,1] (-1 = default 0)")
+	deg := fs.Int("deg", 0, "randomsparse expected out-degree (0 = default 3)")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default 1)")
+	chunks := fs.Int("chunks", 8, "partial-message granularity profiled per message")
+	variant := fs.String("variant", "original", "trace variant: original, or <pattern>-<mechanism> (e.g. linear-both, real-earlysend)")
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	fs.StringVar(out, "out", "", "alias for -o")
+	doReplay := fs.Bool("replay", false, "replay the generated variant on the platform (machine flags apply) and print a summary instead of the trace")
+	mf := cliflag.RegisterMachine(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("tracegen takes no positional arguments (got %q)", fs.Args())
+	}
+
+	spec, err := buildSpec(fs, *specFlag, *pattern, *ranks, *iters, *msg, *msgDist,
+		*comp, *compDist, *imb, *jit, *deg, *seed)
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "tracegen: generating %s\n", spec)
+	ps, err := tracegen.Generate(spec, tracer.Options{Chunks: *chunks})
+	if err != nil {
+		return err
+	}
+	ts, err := overlap.VariantSet(ps, *variant)
+	if err != nil {
+		return err
+	}
+
+	if *doReplay {
+		return replayVariant(stdout, ts, mf, *out)
+	}
+	if *out != "" {
+		if err := trace.WriteFile(*out, ts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %s (%d ranks)\n", *out, ts.NRanks())
+		return nil
+	}
+	return trace.Write(stdout, ts)
+}
+
+// buildSpec resolves the workload description: a full -spec string, or the
+// individual flags layered over the pattern's defaults. Mixing both is
+// rejected so a sweep-ready canonical spec is never silently modified.
+func buildSpec(fs *flag.FlagSet, specStr, pattern string, ranks, iters int,
+	msg, msgDist string, comp int64, compDist string,
+	imb, jit float64, deg int, seed uint64) (tracegen.Spec, error) {
+	if specStr != "" {
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "pattern", "ranks", "iters", "msg", "msg-dist", "comp",
+				"comp-dist", "imb", "jit", "deg", "seed":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return tracegen.Spec{}, fmt.Errorf("-spec already describes the workload; drop -%s", conflict)
+		}
+		return tracegen.ParseSpec(specStr)
+	}
+	pat, err := tracegen.ParsePattern(pattern)
+	if err != nil {
+		return tracegen.Spec{}, err
+	}
+	spec := tracegen.DefaultSpec(pat)
+	if ranks > 0 {
+		spec.Ranks = ranks
+	}
+	if iters > 0 {
+		spec.Iters = iters
+	}
+	if msg != "" {
+		if spec.MsgBytes, err = units.ParseBytes(msg); err != nil {
+			return tracegen.Spec{}, err
+		}
+	}
+	if msgDist != "" {
+		if spec.MsgDist, err = tracegen.ParseDist(msgDist); err != nil {
+			return tracegen.Spec{}, err
+		}
+	}
+	if comp >= 0 {
+		spec.Compute = comp
+	}
+	if compDist != "" {
+		if spec.CompDist, err = tracegen.ParseDist(compDist); err != nil {
+			return tracegen.Spec{}, err
+		}
+	}
+	if imb != 0 {
+		spec.Imbalance = imb
+	}
+	if jit >= 0 {
+		spec.Jitter = jit
+	}
+	if deg > 0 {
+		spec.Degree = deg
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	return spec, nil
+}
+
+// replayVariant simulates the generated variant and prints a one-workload
+// summary; with -o the trace is also kept on disk.
+func replayVariant(stdout io.Writer, ts *trace.Set, mf *cliflag.Machine, out string) error {
+	cfg, err := mf.Config()
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := trace.WriteFile(out, ts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %s (%d ranks)\n", out, ts.NRanks())
+	}
+	res, err := replay.Simulate(ts, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload  %s\n", ts.Name)
+	fmt.Fprintf(stdout, "variant   %s\n", ts.Variant)
+	fmt.Fprintf(stdout, "platform  %s\n", cfg)
+	fmt.Fprintf(stdout, "runtime   %v\n", res.Total)
+	fmt.Fprintf(stdout, "events    %d\n", res.Steps)
+	return nil
+}

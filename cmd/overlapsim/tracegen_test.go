@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/trace"
+)
+
+func genTrace(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := runTracegen(args, &out); err != nil {
+		t.Fatalf("runTracegen(%v): %v", args, err)
+	}
+	return out.Bytes()
+}
+
+// The CLI acceptance property: the same spec+seed writes byte-identical
+// traces, a different seed does not, and the output parses and validates.
+func TestRunTracegenDeterministic(t *testing.T) {
+	args := []string{"-pattern", "randomsparse", "-ranks", "6", "-msg-dist", "uniform", "-seed", "9"}
+	a := genTrace(t, args...)
+	b := genTrace(t, args...)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same spec+seed produced different traces")
+	}
+	c := genTrace(t, "-pattern", "randomsparse", "-ranks", "6", "-msg-dist", "uniform", "-seed", "10")
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	ts, err := trace.Read(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := trace.Validate(ts); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ts.NRanks() != 6 {
+		t.Errorf("nranks = %d, want 6", ts.NRanks())
+	}
+}
+
+// -spec takes a full canonical string and produces the same bytes as the
+// equivalent individual flags.
+func TestRunTracegenSpecEquivalence(t *testing.T) {
+	byFlags := genTrace(t, "-pattern", "ring", "-ranks", "4", "-seed", "3")
+	bySpec := genTrace(t, "-spec", "gen:ring,ranks=4,seed=3")
+	if !bytes.Equal(byFlags, bySpec) {
+		t.Error("-spec and individual flags disagree")
+	}
+}
+
+func TestRunTracegenVariantAndFile(t *testing.T) {
+	path := t.TempDir() + "/ring.trace"
+	var out bytes.Buffer
+	err := runTracegen([]string{"-pattern", "ring", "-variant", "linear-both", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("with -o, stdout should stay empty, got %d bytes", out.Len())
+	}
+	ts, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if ts.Variant != "overlap-linear-both-c8" {
+		t.Errorf("variant = %q", ts.Variant)
+	}
+}
+
+func TestRunTracegenReplay(t *testing.T) {
+	var out bytes.Buffer
+	err := runTracegen([]string{"-pattern", "masterworker", "-ranks", "4", "-replay", "-eager", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"workload  gen:masterworker", "runtime", "events"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("replay summary missing %q in:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunTracegenErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := []struct {
+		args []string
+		frag string
+	}{
+		{[]string{"-pattern", "warp"}, "unknown pattern"},
+		{[]string{"-spec", "gen:ring", "-seed", "4"}, "drop -seed"},
+		{[]string{"-spec", "ring,seed=4"}, `does not start with "gen:"`},
+		{[]string{"-variant", "diagonal-both"}, "bad pattern"},
+		{[]string{"-ranks", "1"}, "out of range"},
+		{[]string{"positional"}, "no positional arguments"},
+	}
+	for _, c := range cases {
+		err := runTracegen(c.args, &out)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("runTracegen(%v) = %v, want error containing %q", c.args, err, c.frag)
+		}
+	}
+}
+
+// The sweep -gen-* axes are live end to end: a gen-axis sweep is
+// byte-identical across worker counts.
+func TestRunSweepGenAxesByteIdentical(t *testing.T) {
+	base := []string{
+		"-gen-patterns", "ring,masterworker", "-gen-seeds", "1,2",
+		"-gen-msg-dists", "uniform", "-iters", "2", "-format", "csv",
+	}
+	var w1, w8 bytes.Buffer
+	if err := runSweep(append([]string{"-workers", "1"}, base...), &w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append([]string{"-workers", "8"}, base...), &w8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w8.Bytes()) {
+		t.Error("gen-axis sweep differs across worker counts")
+	}
+	if !strings.Contains(w1.String(), "gen:ring,ranks=8") {
+		t.Errorf("output missing canonical gen app name:\n%s", w1.String())
+	}
+}
+
+func TestRunSweepGenAxisRejects(t *testing.T) {
+	var out bytes.Buffer
+	err := runSweep([]string{"-gen-patterns", "warp", "-format", "csv"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bad -gen-patterns element") {
+		t.Errorf("got %v, want bad -gen-patterns element", err)
+	}
+	err = runSweep([]string{"-gen-imbalances", "0", "-format", "csv"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bad -gen-* combination") {
+		t.Errorf("got %v, want bad -gen-* combination", err)
+	}
+}

@@ -63,7 +63,7 @@ func run(args []string) error {
 		if v == "" {
 			continue
 		}
-		ts, err := variantSet(ps, v)
+		ts, err := overlap.VariantSet(ps, v)
 		if err != nil {
 			return err
 		}
@@ -74,38 +74,6 @@ func run(args []string) error {
 		fmt.Printf("%s\n", path)
 	}
 	return nil
-}
-
-func variantSet(ps *overlap.ProfiledSet, v string) (*trace.Set, error) {
-	if v == "original" {
-		return ps.Original, nil
-	}
-	pattern, mech, ok := strings.Cut(v, "-")
-	if !ok {
-		return nil, fmt.Errorf("bad variant %q (want original or <pattern>-<mechanism>)", v)
-	}
-	opts := overlap.Options{}
-	switch pattern {
-	case "real":
-		opts.Pattern = overlap.PatternReal
-	case "linear":
-		opts.Pattern = overlap.PatternLinear
-	default:
-		return nil, fmt.Errorf("bad pattern %q in variant %q", pattern, v)
-	}
-	switch mech {
-	case "both":
-		opts.Mechanisms = overlap.BothMechanisms
-	case "earlysend":
-		opts.Mechanisms = overlap.EarlySend
-	case "laterecv":
-		opts.Mechanisms = overlap.LateRecv
-	case "none":
-		opts.Mechanisms = 0
-	default:
-		return nil, fmt.Errorf("bad mechanism %q in variant %q", mech, v)
-	}
-	return overlap.Transform(ps, opts)
 }
 
 func writeSet(path string, ts *trace.Set) error {

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"overlapsim/internal/memory"
+	"overlapsim/internal/tracegen"
 	"overlapsim/internal/tracer"
 )
 
@@ -73,8 +74,13 @@ func PaperApps() []string {
 	return []string{"bt", "cg", "pop", "alya", "specfem", "sweep3d"}
 }
 
-// Lookup returns the spec for a registered application.
+// Lookup returns the spec for a registered application. Names with the
+// "gen:" prefix resolve to synthetic tracegen workloads instead of
+// registry entries (see gen.go).
 func Lookup(name string) (Spec, error) {
+	if tracegen.IsSpec(name) {
+		return genSpec(name)
+	}
 	s, ok := registry[name]
 	if !ok {
 		return Spec{}, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())

@@ -1,0 +1,37 @@
+package apps
+
+import (
+	"fmt"
+
+	"overlapsim/internal/tracegen"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// genSpec resolves a "gen:..." application name to a synthetic workload:
+// tracegen specs act as anonymous registry entries, so sweeps, trace-cache
+// keys, shard signatures and the serve API treat generated workloads
+// exactly like bundled applications. Config overrides map naturally —
+// Ranks and Iterations replace the spec's, and Size (when set) is the base
+// message size in *bytes* for generated apps.
+func genSpec(name string) (Spec, error) {
+	gs, err := tracegen.ParseSpec(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := gs.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Name:        name,
+		Description: fmt.Sprintf("synthetic %s workload (tracegen)", gs.Pattern),
+		Default:     Config{Ranks: gs.Ranks, Size: int(gs.MsgBytes), Iterations: gs.Iters},
+		New: func(cfg Config) (tracer.App, error) {
+			v := gs
+			v.Ranks = cfg.Ranks
+			v.Iters = cfg.Iterations
+			v.MsgBytes = units.Bytes(cfg.Size)
+			return tracegen.NewApp(v)
+		},
+	}, nil
+}

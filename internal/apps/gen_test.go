@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+// "gen:" names resolve through Lookup/New like registered apps, with the
+// canonical spec as the traced app name.
+func TestGenLookupAndNew(t *testing.T) {
+	s, err := Lookup("gen:ring,seed=7")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if s.Default.Ranks != 8 || s.Default.Iterations != 4 || s.Default.Size != 4096 {
+		t.Errorf("gen defaults: %+v", s.Default)
+	}
+	app, err := New("gen:ring,seed=7", Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if app.Ranks() != 8 {
+		t.Errorf("ranks = %d, want 8", app.Ranks())
+	}
+	want := "gen:ring,ranks=8,iters=4,msg=4096,msgdist=fixed,comp=20000,compdist=fixed,imb=1,jit=0,deg=3,seed=7"
+	if app.Name() != want {
+		t.Errorf("Name() = %q, want %q", app.Name(), want)
+	}
+}
+
+// Config overrides map onto the spec: Ranks and Iterations replace it, and
+// Size is the base message size in bytes for generated apps.
+func TestGenConfigOverrides(t *testing.T) {
+	app, err := New("gen:alltoall", Config{Ranks: 4, Size: 512, Iterations: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if app.Ranks() != 4 {
+		t.Errorf("ranks = %d, want 4", app.Ranks())
+	}
+	for _, frag := range []string{"ranks=4", "msg=512", "iters=2"} {
+		if !strings.Contains(app.Name(), frag) {
+			t.Errorf("Name() = %q missing %q", app.Name(), frag)
+		}
+	}
+}
+
+func TestGenLookupRejects(t *testing.T) {
+	cases := []struct{ name, frag string }{
+		{"gen:warp", "unknown pattern"},
+		{"gen:ring,ranks=1", "out of range"},
+		{"gen:stencil2d,ranks=5", "2D-factorable"},
+		{"gen:ring,msg=0", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Lookup(c.name)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Lookup(%q) = %v, want error containing %q", c.name, err, c.frag)
+		}
+	}
+	// Unknown plain names keep the registry diagnostic.
+	if _, err := Lookup("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Errorf("Lookup(nosuch) = %v", err)
+	}
+}

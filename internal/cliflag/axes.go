@@ -37,11 +37,13 @@ func (l *listFlag) Set(s string) error {
 type SweepAxes struct {
 	apps, ranks, bws, chunks, mechs, patterns       listFlag
 	latencies, buscounts, rpns, eagers, collectives listFlag
+	gen                                             genAxes
 }
 
 // RegisterSweepAxes adds the grid-axis flags to fs.
 func RegisterSweepAxes(fs *flag.FlagSet) *SweepAxes {
 	a := &SweepAxes{}
+	registerGenAxes(fs, &a.gen)
 	fs.Var(&a.apps, "apps", "applications to sweep, comma-separated or repeated (required; see overlapsim list)")
 	fs.Var(&a.ranks, "ranks", "rank-count axis (0 or empty = app default)")
 	fs.Var(&a.bws, "bws", "bandwidth axis (e.g. 64MB/s,256MB/s,1GB/s); empty = base platform bandwidth")
@@ -63,6 +65,13 @@ func (a *SweepAxes) Grid() (sweep.Grid, error) {
 	var g sweep.Grid
 	var err error
 	g.Apps = a.apps.items
+	// Synthetic workloads join the app axis as canonical "gen:..." names,
+	// so cache keys, signatures and shard envelopes extend losslessly.
+	gen, err := a.gen.specs()
+	if err != nil {
+		return g, err
+	}
+	g.Apps = append(g.Apps[:len(g.Apps):len(g.Apps)], gen...)
 	if g.Ranks, err = parseIntList(a.ranks.items, "ranks"); err != nil {
 		return g, err
 	}

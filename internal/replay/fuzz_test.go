@@ -1,0 +1,52 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/trace"
+)
+
+// FuzzReplay drives the simulator with arbitrary decoded-and-validated trace
+// sets: Simulate must terminate without panicking and produce the same result
+// twice. Sets that fail Validate are out of contract and skipped, as are
+// very large ones (the fuzzer makes no progress exploring size, only shape).
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte("H 2 1000 \"a\" \"o\"\nT 0\nC 10\nS 1 0 64\nG barrier 0 0\nT 1\nC 20\nR 0 0 64\nG barrier 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := trace.Validate(ts); err != nil {
+			return
+		}
+		if ts.NRanks() > 32 {
+			return
+		}
+		records := 0
+		for i := range ts.Traces {
+			records += len(ts.Traces[i].Records)
+		}
+		if records > 4096 {
+			return
+		}
+		// Rendezvous everywhere: the strictest protocol, and the one where
+		// mismatched orderings would deadlock if the engine mishandled them.
+		cfg := machine.Default()
+		cfg.EagerThreshold = 0
+		res, err := Simulate(ts, cfg)
+		if err != nil {
+			return // diagnosed rejection (e.g. deadlock) is fine; a hang is not
+		}
+		res2, err2 := Simulate(ts, cfg)
+		if err2 != nil {
+			t.Fatalf("second Simulate failed after first succeeded: %v", err2)
+		}
+		if res.Total != res2.Total || res.Steps != res2.Steps {
+			t.Fatalf("replay nondeterministic: total %v/%v steps %d/%d",
+				res.Total, res2.Total, res.Steps, res2.Steps)
+		}
+	})
+}

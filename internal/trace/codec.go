@@ -4,11 +4,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"overlapsim/internal/units"
 )
+
+// MaxRanks bounds the rank count a trace file may declare: far above any
+// simulated platform, low enough that a corrupt header cannot make Read
+// allocate gigabytes before the first record line is seen.
+const MaxRanks = 1 << 16
 
 // The text format, one record per line:
 //
@@ -73,9 +79,17 @@ func Read(r io.Reader) (*Set, error) {
 			if err != nil || nranks <= 0 {
 				return nil, fail("bad rank count")
 			}
+			if nranks > MaxRanks {
+				return nil, fail(fmt.Sprintf("rank count exceeds the limit of %d", MaxRanks))
+			}
 			mips, err := strconv.ParseFloat(args[1], 64)
 			if err != nil {
 				return nil, fail("bad MIPS")
+			}
+			// A non-positive or non-finite rate would turn every burst into
+			// a NaN/Inf timestamp downstream; reject it at the door.
+			if !(mips > 0) || math.IsInf(mips, 1) {
+				return nil, fail("bad MIPS (want a positive finite rate)")
 			}
 			// Name and variant are the two quoted strings at the end of the
 			// line; re-split on quotes to tolerate embedded spaces.

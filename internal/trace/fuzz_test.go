@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip checks the codec's core contract on arbitrary bytes:
+// anything Read accepts must survive Write → Read unchanged. The seed corpus
+// in testdata/fuzz mixes tracegen output with hand-truncated and corrupted
+// variants so plain `go test` exercises the interesting shapes too.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte("H 2 1000 \"a\" \"o\"\nT 0\nC 10\nS 1 0 64\nT 1\nC 10\nR 0 0 64\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write failed on a set Read accepted: %v", err)
+		}
+		s2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read failed: %v\nencoded:\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the set:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+	})
+}
+
+// FuzzValidate checks that Validate and Stats never panic on any set the
+// codec decodes, however inconsistent.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte("H 2 1000 \"a\" \"o\"\nT 0\nS 1 0 64\nG barrier 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = Validate(s) // error or nil, never a panic
+		_ = Stats(s)
+	})
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Pathological inputs the fuzz harness hunts for must come back as precise
+// diagnostics, never as panics or absurd allocations: one test case per
+// codec rejection.
+func TestReadRejectsPathologicalHeaders(t *testing.T) {
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"huge rank count", `H 999999999 1000 "a" "o"`, "rank count exceeds the limit"},
+		{"zero MIPS", `H 2 0 "a" "o"`, "bad MIPS"},
+		{"negative MIPS", `H 2 -5 "a" "o"`, "bad MIPS"},
+		{"NaN MIPS", `H 2 NaN "a" "o"`, "bad MIPS"},
+		{"infinite MIPS", `H 2 +Inf "a" "o"`, "bad MIPS"},
+		{"short header", `H 2 1000`, "short header"},
+		{"unterminated name", `H 2 1000 "a b`, "bad name"},
+		{"missing variant", `H 2 1000 "a" oops`, "bad variant"},
+		{"duplicate header", "H 2 1000 \"a\" \"o\"\nH 2 1000 \"a\" \"o\"", "duplicate header"},
+		{"no header", `T 0`, "record before header"},
+		{"empty input", ``, "empty input"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestReadRejectsPathologicalRecords(t *testing.T) {
+	hdr := "H 2 1000 \"a\" \"o\"\n"
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"rank out of range", hdr + "T 2", "rank out of range"},
+		{"negative rank", hdr + "T -1", "rank out of range"},
+		{"record before rank", hdr + "C 5", "record before rank line"},
+		{"unknown record", hdr + "T 0\nX 1 2 3", "unknown record"},
+		{"short send", hdr + "T 0\nS 1 0", `wants 3 args`},
+		{"bad integer", hdr + "T 0\nC five", "bad integer"},
+		{"bad collective", hdr + "T 0\nG dance 0 0", "unknown collective"},
+		{"bad marker", hdr + "T 0\nM unquoted", "bad marker"},
+		{"integer overflow", hdr + "T 0\nC 99999999999999999999", "bad integer"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.frag)
+		}
+	}
+}
+
+// validateCase builds a 2-rank set and lets the test mutate it into one
+// precise inconsistency.
+func validateCase(mut func(*Set)) *Set {
+	s := NewSet("app", "original", 2, 1000)
+	s.Traces[0].Records = []Record{Burst(10), Send(1, 0, 64), Global(Barrier, 0, 0)}
+	s.Traces[1].Records = []Record{Burst(10), Recv(0, 0, 64), Global(Barrier, 0, 0)}
+	mut(s)
+	return s
+}
+
+func TestValidateRejectsPerProblem(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Set)
+		frag string
+	}{
+		{"self-receive", func(s *Set) {
+			s.Traces[1].Records[1] = Recv(1, 0, 64)
+			s.Traces[1].Records = append(s.Traces[1].Records, Send(1, 0, 64))
+		}, "self-receive"},
+		{"negative collective size", func(s *Set) {
+			s.Traces[0].Records[2] = Global(Allreduce, -8, 0)
+			s.Traces[1].Records[2] = Global(Allreduce, -8, 0)
+		}, "negative size"},
+		{"collective size mismatch", func(s *Set) {
+			s.Traces[0].Records[2] = Global(Allreduce, 8, 0)
+			s.Traces[1].Records[2] = Global(Allreduce, 16, 0)
+		}, "rank 1 collective 0 is allreduce size 16"},
+		{"collective op mismatch", func(s *Set) {
+			s.Traces[1].Records[2] = Global(Bcast, 0, 0)
+		}, "rank 1 collective 0 is bcast"},
+		{"collective count mismatch", func(s *Set) {
+			s.Traces[1].Records = s.Traces[1].Records[:2]
+		}, "executes 0 collectives, rank 0 executes 1"},
+		{"mismatched send/recv size", func(s *Set) {
+			s.Traces[1].Records[1] = Recv(0, 0, 65)
+		}, "p2p mismatch"},
+		{"orphan send", func(s *Set) {
+			s.Traces[1].Records[1] = Burst(1)
+		}, "p2p mismatch 0->1 tag 0 size 64: 1 sends, 0 recvs"},
+		{"negative burst", func(s *Set) {
+			s.Traces[0].Records[0] = Record{Kind: KindBurst, Instr: -5}
+		}, "negative burst"},
+		{"wait unposted", func(s *Set) {
+			s.Traces[0].Records = append(s.Traces[0].Records, Wait(7))
+		}, "wait for unposted request 7"},
+		{"root out of range", func(s *Set) {
+			s.Traces[0].Records[2] = Global(Bcast, 0, 5)
+			s.Traces[1].Records[2] = Global(Bcast, 0, 5)
+		}, "root out of range"},
+	}
+	for _, c := range cases {
+		err := Validate(validateCase(c.mut))
+		if err == nil {
+			t.Errorf("%s: Validate accepted the mutation", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.frag)
+		}
+	}
+	// The unmutated base set is valid — the cases above fail for their
+	// mutation, not a broken fixture.
+	if err := Validate(validateCase(func(*Set) {})); err != nil {
+		t.Fatalf("base fixture invalid: %v", err)
+	}
+}

@@ -39,7 +39,8 @@ var validatePool = sync.Pool{New: func() any {
 
 // Validate checks structural well-formedness of a trace set:
 //
-//   - rank indices match trace positions, peers are in range, no self-sends;
+//   - rank indices match trace positions, peers are in range, no self-sends
+//     or self-receives;
 //   - sizes and burst lengths are non-negative;
 //   - Wait records reference a previously posted request, each at most once;
 //   - the multiset of point-to-point sends equals the multiset of receives
@@ -105,6 +106,9 @@ func Validate(s *Set) error {
 					addf("%s: peer out of range", where(i, j, r))
 					continue
 				}
+				if r.Peer == i {
+					addf("%s: self-receive", where(i, j, r))
+				}
 				if r.Size < 0 {
 					addf("%s: negative size", where(i, j, r))
 				}
@@ -127,15 +131,18 @@ func Validate(s *Set) error {
 				if r.Root < 0 || r.Root >= s.NRanks() {
 					addf("%s: root out of range", where(i, j, r))
 				}
+				if r.Size < 0 {
+					addf("%s: negative size", where(i, j, r))
+				}
 				// Rank 0's sequence is the reference; later ranks compare
 				// against it in stream order instead of storing their own.
 				if i == 0 {
 					sc.colls = append(sc.colls, r)
 				} else if ncolls < len(sc.colls) {
 					ref := sc.colls[ncolls]
-					if r.Coll != ref.Coll || r.Root != ref.Root {
-						addf("rank %d collective %d is %s root %d, rank 0 has %s root %d",
-							i, ncolls, r.Coll, r.Root, ref.Coll, ref.Root)
+					if r.Coll != ref.Coll || r.Root != ref.Root || r.Size != ref.Size {
+						addf("rank %d collective %d is %s size %d root %d, rank 0 has %s size %d root %d",
+							i, ncolls, r.Coll, int64(r.Size), r.Root, ref.Coll, int64(ref.Size), ref.Root)
 					}
 				}
 				ncolls++

@@ -1,0 +1,31 @@
+// Package tracegen generates synthetic workloads: deterministic, seeded
+// MPI-like applications whose traces cover a much wider space of
+// communication shapes than the bundled NAS-style proxies.
+//
+// A workload is described by a Spec — communication pattern (ring, 2D
+// stencil, pairwise all-to-all, master-worker, random-sparse), base message
+// size and size distribution, compute-burst length and distribution,
+// per-rank imbalance factor, and multiplicative jitter — plus a single
+// seed. Every random draw is a pure function of (seed, domain, iteration,
+// rank/peer) through a splitmix64-style hash, so the same spec produces a
+// byte-identical trace on every run, on every platform, forever: no global
+// RNG state, no math/rand version dependence, and both endpoints of a
+// message derive its size independently and agree.
+//
+// Specs round-trip through a canonical string form,
+//
+//	gen:ring,ranks=8,iters=4,msg=4096,msgdist=fixed,comp=20000,compdist=fixed,imb=1,jit=0,deg=3,seed=1
+//
+// which doubles as the workload's *application name*: the apps registry
+// resolves any "gen:..." name to a generated app, so synthetic workloads
+// flow through the sweep engine, trace cache, shard signatures and the
+// serve API exactly like a registered application. ParseSpec accepts any
+// subset of fields in any order (defaults fill the rest); Spec.String
+// always emits every field in a fixed order so cache keys are lossless.
+//
+// The generated apps run against the instrumented tracer runtime
+// (tracer.App), so production/consumption profiles are measured, not
+// assumed, and every pattern orders its blocking sends and receives so the
+// trace replays without deadlock even under a pure rendezvous protocol
+// (eager threshold 0).
+package tracegen

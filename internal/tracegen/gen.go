@@ -1,0 +1,422 @@
+package tracegen
+
+import (
+	"fmt"
+
+	"overlapsim/internal/memory"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/tracer"
+)
+
+// NewApp wraps a validated spec as a tracer.App whose Name() is the
+// canonical spec string, so generated workloads flow through the apps
+// registry, the sweep engine and every cache key unchanged.
+func NewApp(spec Spec) (tracer.App, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &genApp{spec: spec}, nil
+}
+
+// Generate runs the workload once on the instrumented tracer runtime and
+// returns the profiled set: the original trace (guaranteed to pass
+// trace.Validate — the tracer validates before returning) plus the
+// production/consumption annotations overlap.Transform needs.
+func Generate(spec Spec, opts tracer.Options) (*overlap.ProfiledSet, error) {
+	app, err := NewApp(spec)
+	if err != nil {
+		return nil, err
+	}
+	return tracer.Trace(app, opts)
+}
+
+type genApp struct{ spec Spec }
+
+func (a *genApp) Name() string { return a.spec.String() }
+func (a *genApp) Ranks() int   { return a.spec.Ranks }
+
+func (a *genApp) Run(p *tracer.Proc) error {
+	switch a.spec.Pattern {
+	case Ring:
+		return a.runRing(p)
+	case Stencil2D:
+		return a.runStencil2D(p)
+	case AllToAll:
+		return a.runAllToAll(p)
+	case MasterWorker:
+		return a.runMasterWorker(p)
+	case RandomSparse:
+		return a.runRandomSparse(p)
+	}
+	return fmt.Errorf("tracegen: invalid pattern %d", int(a.spec.Pattern))
+}
+
+// ---- seeded draws --------------------------------------------------------
+
+// elemsFor is the size in elements of the message src->dst in iteration it.
+// dir disambiguates multiple messages between the same pair per iteration
+// (the stencil's shifts). Both endpoints call this with identical
+// arguments, which is what keeps send and receive sizes consistent.
+func (s Spec) elemsFor(it, src, dst, dir int) int {
+	base := int(s.MsgBytes) / tracer.ElemBytes
+	if base < 1 {
+		base = 1
+	}
+	switch s.MsgDist {
+	case DistUniform:
+		lo := base / 2
+		if lo < 1 {
+			lo = 1
+		}
+		hi := base + base/2
+		if hi < lo {
+			hi = lo
+		}
+		h := s.hash(domMsg, it, src, dst, dir)
+		return lo + int(h%uint64(hi-lo+1))
+	case DistBimodal:
+		if s.hash(domMsg, it, src, dst, dir)%5 == 0 {
+			return base * 4
+		}
+		if e := base / 8; e >= 1 {
+			return e
+		}
+		return 1
+	}
+	return base
+}
+
+// maxElems sizes a buffer for the largest draw the distribution can make.
+func (s Spec) maxElems() int {
+	base := int(s.MsgBytes) / tracer.ElemBytes
+	if base < 1 {
+		base = 1
+	}
+	switch s.MsgDist {
+	case DistUniform:
+		if hi := base + base/2; hi > base {
+			return hi
+		}
+	case DistBimodal:
+		return base * 4
+	}
+	return base
+}
+
+// burstFor is rank's compute burst for iteration it: a distribution draw
+// scaled by the linear imbalance ramp and the jitter factor.
+func (s Spec) burstFor(it, rank int) int64 {
+	v := s.Compute
+	switch s.CompDist {
+	case DistUniform:
+		h := s.hash(domComp, it, rank, 0, 0)
+		v = s.Compute/2 + int64(h%uint64(s.Compute+1))
+	case DistBimodal:
+		if s.hash(domComp, it, rank, 0, 0)%5 == 0 {
+			v = s.Compute * 4
+		} else {
+			v = s.Compute / 4
+		}
+	}
+	f := 1.0
+	if s.Ranks > 1 && s.Imbalance != 1 {
+		f = 1 + (s.Imbalance-1)*float64(rank)/float64(s.Ranks-1)
+	}
+	if s.Jitter > 0 {
+		u := unit(s.hash(domJit, it, rank, 0, 0))
+		f *= 1 + s.Jitter*(2*u-1)
+	}
+	if f != 1 {
+		v = int64(float64(v) * f)
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// edge reports whether the randomsparse graph has the edge src->dst in
+// iteration it: probability Degree/(Ranks-1), both endpoints agreeing.
+func (s Spec) edge(it, src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	return s.hash(domEdge, it, src, dst, 0)%uint64(s.Ranks-1) < uint64(s.Degree)
+}
+
+// ---- tracked produce/consume --------------------------------------------
+
+// produce writes buf[0:n) element by element so the tracer measures a
+// linear production profile for the outgoing message.
+func produce(p *tracer.Proc, buf *memory.Buffer, n int) {
+	for i := 0; i < n; i++ {
+		p.Compute(1)
+		buf.Store(i, float64(i)*0.5+1)
+	}
+}
+
+// consume reads buf[0:n) element by element so the tracer measures a
+// linear consumption profile for the incoming message.
+func consume(p *tracer.Proc, buf *memory.Buffer, n int) float64 {
+	var acc float64
+	for i := 0; i < n; i++ {
+		p.Compute(1)
+		acc += buf.Load(i)
+	}
+	return acc
+}
+
+// grid2D mirrors the apps package: the most-square px*py = n factorization
+// with px <= py.
+func grid2D(n int) (px, py int) {
+	px = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			px = d
+		}
+	}
+	return px, n / px
+}
+
+// ---- patterns ------------------------------------------------------------
+//
+// Every pattern orders its *blocking* sends and receives so the recorded
+// trace replays without deadlock even when every message uses the
+// rendezvous protocol (machine eager threshold 0): within each exchange
+// the waits-for relation always points at a rank that is already able to
+// progress. The tracer runtime itself sends eagerly, so tracing never
+// deadlocks — these orderings exist for the replayed schedule.
+
+// runRing: cyclic right shift. Even ranks send before receiving, odd ranks
+// receive first, which breaks the cycle for any rank count (with an odd
+// count the two adjacent even ranks still pair off in order).
+func (a *genApp) runRing(p *tracer.Proc) error {
+	s := a.spec
+	n, r := p.Size(), p.Rank()
+	next, prev := (r+1)%n, (r+n-1)%n
+	out := p.NewBuffer("out", s.maxElems())
+	in := p.NewBuffer("in", s.maxElems())
+	for it := 0; it < s.Iters; it++ {
+		p.Marker(fmt.Sprintf("iter %d", it))
+		p.Compute(s.burstFor(it, r))
+		eo := s.elemsFor(it, r, next, 0)
+		ei := s.elemsFor(it, prev, r, 0)
+		produce(p, out, eo)
+		if r%2 == 0 {
+			if err := p.Send(out, 0, eo, next, it); err != nil {
+				return err
+			}
+			if err := p.Recv(in, 0, ei, prev, it); err != nil {
+				return err
+			}
+		} else {
+			if err := p.Recv(in, 0, ei, prev, it); err != nil {
+				return err
+			}
+			if err := p.Send(out, 0, eo, next, it); err != nil {
+				return err
+			}
+		}
+		consume(p, in, ei)
+	}
+	return nil
+}
+
+// runStencil2D: 4-neighbour halo exchange as four cyclic shifts (west,
+// east, north, south), each a ring along one grid dimension ordered by the
+// parity of the rank's position on that dimension, closed by an Allreduce.
+func (a *genApp) runStencil2D(p *tracer.Proc) error {
+	s := a.spec
+	r := p.Rank()
+	px, py := grid2D(s.Ranks)
+	ix, iy := r%px, r/px
+	west := iy*px + (ix+px-1)%px
+	east := iy*px + (ix+1)%px
+	north := ((iy+py-1)%py)*px + ix
+	south := ((iy+1)%py)*px + ix
+
+	// Shift d sends to sendTo[d] and receives the equivalent message the
+	// opposite neighbour sent in the same direction.
+	sendTo := [4]int{west, east, north, south}
+	recvFrom := [4]int{east, west, south, north}
+	pos := [4]int{ix, ix, iy, iy}
+	var outs, ins [4]*memory.Buffer
+	for d, name := range []string{"W", "E", "N", "S"} {
+		outs[d] = p.NewBuffer("out"+name, s.maxElems())
+		ins[d] = p.NewBuffer("in"+name, s.maxElems())
+	}
+	norm := p.NewBuffer("norm", 1)
+
+	for it := 0; it < s.Iters; it++ {
+		p.Marker(fmt.Sprintf("iter %d", it))
+		p.Compute(s.burstFor(it, r))
+		var acc float64
+		for d := 0; d < 4; d++ {
+			eo := s.elemsFor(it, r, sendTo[d], d)
+			ei := s.elemsFor(it, recvFrom[d], r, d)
+			produce(p, outs[d], eo)
+			tag := it*4 + d
+			if pos[d]%2 == 0 {
+				if err := p.Send(outs[d], 0, eo, sendTo[d], tag); err != nil {
+					return err
+				}
+				if err := p.Recv(ins[d], 0, ei, recvFrom[d], tag); err != nil {
+					return err
+				}
+			} else {
+				if err := p.Recv(ins[d], 0, ei, recvFrom[d], tag); err != nil {
+					return err
+				}
+				if err := p.Send(outs[d], 0, eo, sendTo[d], tag); err != nil {
+					return err
+				}
+			}
+			acc += consume(p, ins[d], ei)
+		}
+		norm.Store(0, acc)
+		if err := p.Allreduce(norm, 0, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAllToAll: pairwise exchange over every rank pair in ascending peer
+// order, the lower rank of each pair sending first — the classic
+// deadlock-free ordered pairwise schedule.
+func (a *genApp) runAllToAll(p *tracer.Proc) error {
+	s := a.spec
+	n, r := p.Size(), p.Rank()
+	out := p.NewBuffer("out", s.maxElems())
+	in := p.NewBuffer("in", s.maxElems())
+	for it := 0; it < s.Iters; it++ {
+		p.Marker(fmt.Sprintf("iter %d", it))
+		p.Compute(s.burstFor(it, r))
+		for q := 0; q < n; q++ {
+			if q == r {
+				continue
+			}
+			eo := s.elemsFor(it, r, q, 0)
+			ei := s.elemsFor(it, q, r, 0)
+			if r < q {
+				produce(p, out, eo)
+				if err := p.Send(out, 0, eo, q, it); err != nil {
+					return err
+				}
+				if err := p.Recv(in, 0, ei, q, it); err != nil {
+					return err
+				}
+				consume(p, in, ei)
+			} else {
+				if err := p.Recv(in, 0, ei, q, it); err != nil {
+					return err
+				}
+				consume(p, in, ei)
+				produce(p, out, eo)
+				if err := p.Send(out, 0, eo, q, it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runMasterWorker: rank 0 scatters one task to every worker, then gathers
+// replies in worker order; workers receive, compute, reply. Workers only
+// ever wait on master operations that precede their own in master program
+// order, so the schedule is deadlock-free under rendezvous.
+func (a *genApp) runMasterWorker(p *tracer.Proc) error {
+	s := a.spec
+	n, r := p.Size(), p.Rank()
+	if r == 0 {
+		task := p.NewBuffer("task", s.maxElems())
+		resp := p.NewBuffer("resp", s.maxElems())
+		for it := 0; it < s.Iters; it++ {
+			p.Marker(fmt.Sprintf("iter %d", it))
+			p.Compute(s.burstFor(it, 0))
+			for w := 1; w < n; w++ {
+				eo := s.elemsFor(it, 0, w, 0)
+				produce(p, task, eo)
+				if err := p.Send(task, 0, eo, w, it); err != nil {
+					return err
+				}
+			}
+			for w := 1; w < n; w++ {
+				ei := s.elemsFor(it, w, 0, 0)
+				if err := p.Recv(resp, 0, ei, w, it); err != nil {
+					return err
+				}
+				consume(p, resp, ei)
+			}
+		}
+		return nil
+	}
+	task := p.NewBuffer("task", s.maxElems())
+	resp := p.NewBuffer("resp", s.maxElems())
+	for it := 0; it < s.Iters; it++ {
+		p.Marker(fmt.Sprintf("iter %d", it))
+		ei := s.elemsFor(it, 0, r, 0)
+		if err := p.Recv(task, 0, ei, 0, it); err != nil {
+			return err
+		}
+		consume(p, task, ei)
+		p.Compute(s.burstFor(it, r))
+		eo := s.elemsFor(it, r, 0, 0)
+		produce(p, resp, eo)
+		if err := p.Send(resp, 0, eo, 0, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRandomSparse: a fresh seeded directed graph each iteration, walked
+// with the same ascending-peer, lower-rank-sends-first discipline as the
+// all-to-all — dropping edges from a deadlock-free schedule keeps the
+// waits-for relation acyclic.
+func (a *genApp) runRandomSparse(p *tracer.Proc) error {
+	s := a.spec
+	n, r := p.Size(), p.Rank()
+	out := p.NewBuffer("out", s.maxElems())
+	in := p.NewBuffer("in", s.maxElems())
+	for it := 0; it < s.Iters; it++ {
+		p.Marker(fmt.Sprintf("iter %d", it))
+		p.Compute(s.burstFor(it, r))
+		for q := 0; q < n; q++ {
+			if q == r {
+				continue
+			}
+			sendIt := func() error {
+				if !s.edge(it, r, q) {
+					return nil
+				}
+				eo := s.elemsFor(it, r, q, 0)
+				produce(p, out, eo)
+				return p.Send(out, 0, eo, q, it)
+			}
+			recvIt := func() error {
+				if !s.edge(it, q, r) {
+					return nil
+				}
+				ei := s.elemsFor(it, q, r, 0)
+				if err := p.Recv(in, 0, ei, q, it); err != nil {
+					return err
+				}
+				consume(p, in, ei)
+				return nil
+			}
+			first, second := sendIt, recvIt
+			if r > q {
+				first, second = recvIt, sendIt
+			}
+			if err := first(); err != nil {
+				return err
+			}
+			if err := second(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package tracegen
+
+import (
+	"bytes"
+	"testing"
+
+	"overlapsim/internal/machine"
+	"overlapsim/internal/overlap"
+	"overlapsim/internal/replay"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracer"
+)
+
+// specMatrix is the property-test matrix: every pattern, with enough
+// distribution/imbalance/jitter variety to exercise the seeded draws.
+func specMatrix() []Spec {
+	mod := func(p Pattern, f func(*Spec)) Spec { s := DefaultSpec(p); f(&s); return s }
+	return []Spec{
+		DefaultSpec(Ring),
+		DefaultSpec(Stencil2D),
+		DefaultSpec(AllToAll),
+		DefaultSpec(MasterWorker),
+		DefaultSpec(RandomSparse),
+		mod(Ring, func(s *Spec) { s.Ranks = 5; s.MsgDist = DistUniform; s.Jitter = 0.5 }),
+		mod(Ring, func(s *Spec) { s.Ranks = 2; s.MsgDist = DistBimodal; s.Imbalance = 4 }),
+		mod(Stencil2D, func(s *Spec) { s.Ranks = 4; s.MsgDist = DistUniform; s.CompDist = DistUniform }),
+		mod(Stencil2D, func(s *Spec) { s.Ranks = 9; s.MsgBytes = 64 }), // odd 3x3 grid, sub-element sizes
+		mod(AllToAll, func(s *Spec) { s.Ranks = 6; s.MsgDist = DistBimodal; s.CompDist = DistBimodal }),
+		mod(MasterWorker, func(s *Spec) { s.Ranks = 7; s.Imbalance = 3; s.Jitter = 1 }),
+		mod(RandomSparse, func(s *Spec) { s.Ranks = 12; s.Degree = 1; s.MsgDist = DistUniform }),
+		mod(RandomSparse, func(s *Spec) { s.Ranks = 6; s.Degree = 10 }), // degree > ranks: dense
+	}
+}
+
+func genBytes(t *testing.T, s Spec) []byte {
+	t.Helper()
+	ps, err := Generate(s, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", s, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ps.Original); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// The tentpole property: the same spec+seed is byte-identical across runs,
+// and every generated trace passes trace.Validate.
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	for _, s := range specMatrix() {
+		ps, err := Generate(s, tracer.Options{Chunks: 4})
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", s, err)
+		}
+		if err := trace.Validate(ps.Original); err != nil {
+			t.Errorf("%s: generated trace fails Validate: %v", s, err)
+		}
+		if got := ps.Original.Name; got != s.String() {
+			t.Errorf("%s: trace name %q != canonical spec", s, got)
+		}
+		a := genBytes(t, s)
+		b := genBytes(t, s)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two generations differ (%d vs %d bytes)", s, len(a), len(b))
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	s := DefaultSpec(Ring)
+	s.MsgDist = DistUniform
+	s2 := s
+	s2.Seed = 2
+	if bytes.Equal(genBytes(t, s), genBytes(t, s2)) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// Every pattern must replay cleanly even when the platform forces the
+// rendezvous protocol for every message (eager threshold 0): the blocking
+// send/receive orderings are designed for exactly this.
+func TestReplayUnderPureRendezvous(t *testing.T) {
+	cold := machine.Default()
+	cold.EagerThreshold = 0
+	for _, s := range specMatrix() {
+		ps, err := Generate(s, tracer.Options{Chunks: 4})
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", s, err)
+		}
+		res, err := replay.Simulate(ps.Original, cold)
+		if err != nil {
+			t.Errorf("%s: rendezvous replay failed: %v", s, err)
+			continue
+		}
+		if res.Total <= 0 {
+			t.Errorf("%s: rendezvous replay total %v, want > 0", s, res.Total)
+		}
+	}
+}
+
+// Replay is deterministic: simulating the same generated trace twice gives
+// identical totals and event counts.
+func TestReplayDeterministic(t *testing.T) {
+	for _, s := range specMatrix()[:5] {
+		ps, err := Generate(s, tracer.Options{Chunks: 4})
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", s, err)
+		}
+		a, err := replay.Simulate(ps.Original, machine.Default())
+		if err != nil {
+			t.Fatalf("%s: replay: %v", s, err)
+		}
+		b, err := replay.Simulate(ps.Original, machine.Default())
+		if err != nil {
+			t.Fatalf("%s: replay: %v", s, err)
+		}
+		if a.Total != b.Total || a.Steps != b.Steps {
+			t.Errorf("%s: replays differ: total %v/%v steps %d/%d", s, a.Total, b.Total, a.Steps, b.Steps)
+		}
+	}
+}
+
+func rankInstructions(tr trace.Trace) int64 {
+	var sum int64
+	for _, r := range tr.Records {
+		if r.Kind == trace.KindBurst {
+			sum += r.Instr
+		}
+	}
+	return sum
+}
+
+// The imbalance knob means what it says: with imb=3 and no jitter the last
+// rank computes measurably more than rank 0.
+func TestImbalanceSkewsCompute(t *testing.T) {
+	s := DefaultSpec(Ring)
+	s.Imbalance = 3
+	ps, err := Generate(s, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	first := rankInstructions(ps.Original.Traces[0])
+	last := rankInstructions(ps.Original.Traces[s.Ranks-1])
+	if last <= first {
+		t.Errorf("imbalance 3: last rank %d instructions, rank 0 %d — want last > first", last, first)
+	}
+	if last < 2*first {
+		t.Errorf("imbalance 3: skew too weak: last %d vs first %d", last, first)
+	}
+}
+
+// Overlap variants derived from a generated trace replay too: the
+// annotations the tracer measured are usable by overlap.Transform.
+func TestGeneratedVariantsReplay(t *testing.T) {
+	s := DefaultSpec(Stencil2D)
+	ps, err := Generate(s, tracer.Options{Chunks: 4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	vs, err := overlap.Transform(ps, overlap.Options{Mechanisms: overlap.BothMechanisms})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if _, err := replay.Simulate(vs, machine.Default()); err != nil {
+		t.Errorf("overlapped variant replay failed: %v", err)
+	}
+}

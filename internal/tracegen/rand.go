@@ -1,0 +1,37 @@
+package tracegen
+
+// Determinism is the whole point of this package, so it carries its own
+// tiny hash-based PRNG instead of math/rand: splitmix64's finalizer is
+// fixed by published constants and will never change underneath us, and a
+// *stateless* hash lets both endpoints of a message derive its size from
+// (seed, iteration, src, dst) independently and agree, with no draw-order
+// coupling between ranks.
+
+// Draw domains keep unrelated quantities decorrelated under one seed.
+const (
+	domMsg uint64 = 0x6d736700 + iota // message sizes
+	domComp
+	domJit
+	domEdge
+)
+
+// mix64 is the splitmix64 output function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the seed, a domain and up to four coordinates into one draw.
+func (s Spec) hash(domain uint64, a, b, c, d int) uint64 {
+	h := mix64(s.Seed ^ domain)
+	h = mix64(h ^ uint64(int64(a)))
+	h = mix64(h ^ uint64(int64(b)))
+	h = mix64(h ^ uint64(int64(c)))
+	h = mix64(h ^ uint64(int64(d)))
+	return h
+}
+
+// unit maps a draw onto [0,1) with 53 bits of precision.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -1,0 +1,277 @@
+package tracegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"overlapsim/internal/units"
+)
+
+// SpecPrefix marks an application name as a tracegen spec.
+const SpecPrefix = "gen:"
+
+// IsSpec reports whether an application name is a tracegen spec string.
+func IsSpec(name string) bool { return strings.HasPrefix(name, SpecPrefix) }
+
+// Pattern is a synthetic communication pattern.
+type Pattern int
+
+// The supported communication patterns.
+const (
+	// Ring: every rank passes one message to its right neighbour each
+	// iteration (even ranks send first, odd ranks receive first).
+	Ring Pattern = iota
+	// Stencil2D: 4-neighbour halo exchange on the most-square 2D process
+	// grid, as four cyclic shifts, closed by an Allreduce per iteration.
+	Stencil2D
+	// AllToAll: pairwise point-to-point exchange between every rank pair
+	// (the lower rank of a pair sends first).
+	AllToAll
+	// MasterWorker: rank 0 scatters tasks and gathers results each
+	// iteration; workers compute between receive and reply.
+	MasterWorker
+	// RandomSparse: a seeded random directed graph with expected
+	// out-degree Degree, redrawn every iteration.
+	RandomSparse
+	numPatterns = iota
+)
+
+var patternNames = [numPatterns]string{
+	"ring", "stencil2d", "alltoall", "masterworker", "randomsparse",
+}
+
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= numPatterns {
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// PatternNames returns the supported pattern names in declaration order.
+func PatternNames() []string { return append([]string(nil), patternNames[:]...) }
+
+// ParsePattern parses a pattern name.
+func ParsePattern(s string) (Pattern, error) {
+	for i, n := range patternNames {
+		if s == n {
+			return Pattern(i), nil
+		}
+	}
+	return 0, fmt.Errorf("tracegen: unknown pattern %q (want one of %s)",
+		s, strings.Join(patternNames[:], ", "))
+}
+
+// Dist is a draw distribution for message sizes or compute bursts.
+type Dist int
+
+// The supported distributions, all relative to the spec's base value.
+const (
+	// DistFixed: every draw is the base value.
+	DistFixed Dist = iota
+	// DistUniform: uniform over [base/2, 3*base/2].
+	DistUniform
+	// DistBimodal: 4*base with probability 1/5, else base/8 (sizes) or
+	// base/4 (bursts) — a few elephants among mice.
+	DistBimodal
+	numDists = iota
+)
+
+var distNames = [numDists]string{"fixed", "uniform", "bimodal"}
+
+func (d Dist) String() string {
+	if d < 0 || int(d) >= numDists {
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+	return distNames[d]
+}
+
+// DistNames returns the supported distribution names in declaration order.
+func DistNames() []string { return append([]string(nil), distNames[:]...) }
+
+// ParseDist parses a distribution name.
+func ParseDist(s string) (Dist, error) {
+	for i, n := range distNames {
+		if s == n {
+			return Dist(i), nil
+		}
+	}
+	return 0, fmt.Errorf("tracegen: unknown distribution %q (want one of %s)",
+		s, strings.Join(distNames[:], ", "))
+}
+
+// Spec parameterizes one synthetic workload. The zero value is not useful;
+// start from DefaultSpec or ParseSpec. Spec is comparable and all-scalar,
+// so it can key maps and round-trips losslessly through String/ParseSpec.
+type Spec struct {
+	// Pattern is the communication pattern.
+	Pattern Pattern
+	// Ranks is the number of MPI processes (stencil2d needs a rank count
+	// whose most-square factorization is at least 2x2).
+	Ranks int
+	// Iters is the number of outer iterations.
+	Iters int
+	// MsgBytes is the base message size; the distribution draws around it.
+	MsgBytes units.Bytes
+	// MsgDist is the message-size distribution.
+	MsgDist Dist
+	// Compute is the base per-iteration compute burst in instructions.
+	Compute int64
+	// CompDist is the compute-burst distribution.
+	CompDist Dist
+	// Imbalance linearly skews compute across ranks: rank r's bursts are
+	// scaled by 1 + (Imbalance-1)*r/(Ranks-1), so 1 is balanced and 2
+	// means the last rank computes twice as long as rank 0.
+	Imbalance float64
+	// Jitter multiplies every burst by a seeded factor uniform in
+	// [1-Jitter, 1+Jitter]; 0 disables it.
+	Jitter float64
+	// Degree is the expected out-degree of the randomsparse graph
+	// (ignored by the other patterns).
+	Degree int
+	// Seed drives every random draw.
+	Seed uint64
+}
+
+// Spec bounds: generous for studies, tight enough that a mistyped spec
+// cannot ask the tracer for gigabytes of buffers or hours of replay.
+const (
+	MaxRanks    = 1024
+	MaxIters    = 10000
+	MaxMsgBytes = 16 * units.MB
+	MaxCompute  = int64(1e12)
+	MaxDegree   = MaxRanks
+)
+
+// DefaultSpec returns the default workload for a pattern: 8 ranks, 4
+// iterations, 4KB fixed messages, 20k-instruction fixed bursts, balanced,
+// no jitter, degree 3, seed 1.
+func DefaultSpec(p Pattern) Spec {
+	return Spec{
+		Pattern:   p,
+		Ranks:     8,
+		Iters:     4,
+		MsgBytes:  4096,
+		MsgDist:   DistFixed,
+		Compute:   20000,
+		CompDist:  DistFixed,
+		Imbalance: 1,
+		Jitter:    0,
+		Degree:    3,
+		Seed:      1,
+	}
+}
+
+// String renders the canonical spec form: the "gen:" prefix, the pattern,
+// and every field in a fixed order. The result parses back to an equal
+// Spec and is stable across runs, so it serves as an application name, a
+// trace-cache key component and a shard-signature label.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(SpecPrefix)
+	b.WriteString(s.Pattern.String())
+	fmt.Fprintf(&b, ",ranks=%d,iters=%d,msg=%d,msgdist=%s,comp=%d,compdist=%s",
+		s.Ranks, s.Iters, int64(s.MsgBytes), s.MsgDist, s.Compute, s.CompDist)
+	fmt.Fprintf(&b, ",imb=%s,jit=%s,deg=%d,seed=%d",
+		strconv.FormatFloat(s.Imbalance, 'g', -1, 64),
+		strconv.FormatFloat(s.Jitter, 'g', -1, 64),
+		s.Degree, s.Seed)
+	return b.String()
+}
+
+// ParseSpec parses a spec string: "gen:<pattern>" optionally followed by
+// comma-separated key=value fields in any order. Absent fields take the
+// pattern's defaults; message sizes accept unit suffixes ("msg=64KB").
+// ParseSpec checks syntax only; call Validate before generating.
+func ParseSpec(s string) (Spec, error) {
+	if !IsSpec(s) {
+		return Spec{}, fmt.Errorf("tracegen: spec %q does not start with %q", s, SpecPrefix)
+	}
+	parts := strings.Split(s[len(SpecPrefix):], ",")
+	pat, err := ParsePattern(parts[0])
+	if err != nil {
+		return Spec{}, err
+	}
+	sp := DefaultSpec(pat)
+	seen := map[string]bool{}
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("tracegen: bad spec field %q (want key=value)", kv)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("tracegen: duplicate spec field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "ranks":
+			sp.Ranks, err = strconv.Atoi(val)
+		case "iters":
+			sp.Iters, err = strconv.Atoi(val)
+		case "msg":
+			sp.MsgBytes, err = units.ParseBytes(val)
+		case "msgdist":
+			sp.MsgDist, err = ParseDist(val)
+		case "comp":
+			sp.Compute, err = strconv.ParseInt(val, 10, 64)
+		case "compdist":
+			sp.CompDist, err = ParseDist(val)
+		case "imb":
+			sp.Imbalance, err = strconv.ParseFloat(val, 64)
+		case "jit":
+			sp.Jitter, err = strconv.ParseFloat(val, 64)
+		case "deg":
+			sp.Degree, err = strconv.Atoi(val)
+		case "seed":
+			sp.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return Spec{}, fmt.Errorf("tracegen: unknown spec field %q in %q", key, s)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("tracegen: bad spec field %s=%q: %v", key, val, err)
+		}
+	}
+	return sp, nil
+}
+
+// Validate checks the spec's bounds and per-pattern constraints.
+func (s Spec) Validate() error {
+	if s.Pattern < 0 || int(s.Pattern) >= numPatterns {
+		return fmt.Errorf("tracegen: invalid pattern %d", int(s.Pattern))
+	}
+	if s.Ranks < 2 || s.Ranks > MaxRanks {
+		return fmt.Errorf("tracegen: ranks %d out of range [2,%d]", s.Ranks, MaxRanks)
+	}
+	if s.Pattern == Stencil2D {
+		if px, py := grid2D(s.Ranks); px < 2 || py < 2 {
+			return fmt.Errorf("tracegen: stencil2d needs a 2D-factorable rank count >= 4 (got %d = %dx%d)",
+				s.Ranks, px, py)
+		}
+	}
+	if s.Iters < 1 || s.Iters > MaxIters {
+		return fmt.Errorf("tracegen: iters %d out of range [1,%d]", s.Iters, MaxIters)
+	}
+	if s.MsgBytes < 1 || s.MsgBytes > MaxMsgBytes {
+		return fmt.Errorf("tracegen: msg %d out of range [1B,%s]", int64(s.MsgBytes), MaxMsgBytes)
+	}
+	if s.MsgDist < 0 || int(s.MsgDist) >= numDists {
+		return fmt.Errorf("tracegen: invalid message-size distribution %d", int(s.MsgDist))
+	}
+	if s.Compute < 0 || s.Compute > MaxCompute {
+		return fmt.Errorf("tracegen: comp %d out of range [0,%d]", s.Compute, MaxCompute)
+	}
+	if s.CompDist < 0 || int(s.CompDist) >= numDists {
+		return fmt.Errorf("tracegen: invalid compute distribution %d", int(s.CompDist))
+	}
+	if !(s.Imbalance > 0) || s.Imbalance > 100 {
+		return fmt.Errorf("tracegen: imb %v out of range (0,100]", s.Imbalance)
+	}
+	if !(s.Jitter >= 0) || s.Jitter > 1 {
+		return fmt.Errorf("tracegen: jit %v out of range [0,1]", s.Jitter)
+	}
+	if s.Degree < 1 || s.Degree > MaxDegree {
+		return fmt.Errorf("tracegen: deg %d out of range [1,%d]", s.Degree, MaxDegree)
+	}
+	return nil
+}

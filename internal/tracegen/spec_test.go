@@ -1,0 +1,159 @@
+package tracegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// The canonical string form is a cache-key component and a shard-signature
+// label, so it is pinned: changing it silently would orphan every cached
+// trace and break cross-version shard merges.
+func TestSpecStringGolden(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{
+			DefaultSpec(Ring),
+			"gen:ring,ranks=8,iters=4,msg=4096,msgdist=fixed,comp=20000,compdist=fixed,imb=1,jit=0,deg=3,seed=1",
+		},
+		{
+			Spec{Pattern: Stencil2D, Ranks: 16, Iters: 2, MsgBytes: 65536, MsgDist: DistBimodal,
+				Compute: 50000, CompDist: DistUniform, Imbalance: 2.5, Jitter: 0.1, Degree: 3, Seed: 42},
+			"gen:stencil2d,ranks=16,iters=2,msg=65536,msgdist=bimodal,comp=50000,compdist=uniform,imb=2.5,jit=0.1,deg=3,seed=42",
+		},
+		{
+			Spec{Pattern: RandomSparse, Ranks: 8, Iters: 4, MsgBytes: 4096, MsgDist: DistFixed,
+				Compute: 20000, CompDist: DistFixed, Imbalance: 1, Jitter: 0, Degree: 5, Seed: 7},
+			"gen:randomsparse,ranks=8,iters=4,msg=4096,msgdist=fixed,comp=20000,compdist=fixed,imb=1,jit=0,deg=5,seed=7",
+		},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		DefaultSpec(Ring),
+		DefaultSpec(Stencil2D),
+		DefaultSpec(AllToAll),
+		DefaultSpec(MasterWorker),
+		DefaultSpec(RandomSparse),
+		{Pattern: Ring, Ranks: 3, Iters: 7, MsgBytes: 123, MsgDist: DistUniform,
+			Compute: 999, CompDist: DistBimodal, Imbalance: 3.25, Jitter: 0.75, Degree: 2, Seed: 12345},
+		{Pattern: AllToAll, Ranks: 64, Iters: 1, MsgBytes: 16 * 1024 * 1024, MsgDist: DistBimodal,
+			Compute: 0, CompDist: DistFixed, Imbalance: 0.5, Jitter: 1, Degree: 1, Seed: 1<<64 - 1},
+	}
+	for _, want := range specs {
+		got, err := ParseSpec(want.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("round trip of %q: got %+v, want %+v", want.String(), got, want)
+		}
+	}
+}
+
+func TestParseSpecDefaultsAndUnits(t *testing.T) {
+	// A bare pattern takes every default.
+	got, err := ParseSpec("gen:alltoall")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got != DefaultSpec(AllToAll) {
+		t.Errorf("bare pattern: got %+v, want defaults", got)
+	}
+	// Fields override in any order; message sizes accept unit suffixes.
+	got, err = ParseSpec("gen:ring,seed=9,msg=64KB,ranks=4")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := DefaultSpec(Ring)
+	want.Seed, want.MsgBytes, want.Ranks = 9, 65536, 4
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		in   string
+		frag string
+	}{
+		{"ring", `does not start with "gen:"`},
+		{"gen:", "unknown pattern"},
+		{"gen:mesh3d", "unknown pattern"},
+		{"gen:ring,ranks", "want key=value"},
+		{"gen:ring,ranks=4,ranks=8", "duplicate spec field"},
+		{"gen:ring,bogus=1", "unknown spec field"},
+		{"gen:ring,ranks=four", `bad spec field ranks="four"`},
+		{"gen:ring,msg=-4KB", `bad spec field msg="-4KB"`},
+		{"gen:ring,msgdist=gaussian", "unknown distribution"},
+		{"gen:ring,imb=wide", `bad spec field imb="wide"`},
+		{"gen:ring,seed=-1", `bad spec field seed="-1"`},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected error containing %q, got nil", c.in, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSpec(%q): error %q does not contain %q", c.in, err, c.frag)
+		}
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	ok := DefaultSpec(Ring)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	mod := func(f func(*Spec)) Spec { s := ok; f(&s); return s }
+	cases := []struct {
+		spec Spec
+		frag string
+	}{
+		{mod(func(s *Spec) { s.Pattern = Pattern(99) }), "invalid pattern"},
+		{mod(func(s *Spec) { s.Ranks = 1 }), "ranks 1 out of range"},
+		{mod(func(s *Spec) { s.Ranks = MaxRanks + 1 }), "out of range"},
+		{mod(func(s *Spec) { s.Pattern = Stencil2D; s.Ranks = 5 }), "2D-factorable"},
+		{mod(func(s *Spec) { s.Iters = 0 }), "iters 0 out of range"},
+		{mod(func(s *Spec) { s.MsgBytes = 0 }), "msg 0 out of range"},
+		{mod(func(s *Spec) { s.MsgBytes = MaxMsgBytes + 1 }), "out of range"},
+		{mod(func(s *Spec) { s.MsgDist = Dist(9) }), "invalid message-size distribution"},
+		{mod(func(s *Spec) { s.Compute = -1 }), "comp -1 out of range"},
+		{mod(func(s *Spec) { s.CompDist = Dist(-1) }), "invalid compute distribution"},
+		{mod(func(s *Spec) { s.Imbalance = 0 }), "imb 0 out of range"},
+		{mod(func(s *Spec) { s.Jitter = 1.5 }), "jit 1.5 out of range"},
+		{mod(func(s *Spec) { s.Degree = 0 }), "deg 0 out of range"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v): expected error containing %q, got nil", c.spec, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Validate: error %q does not contain %q", err, c.frag)
+		}
+	}
+}
+
+// stencil2d on a prime rank count has no 2D factorization; Validate must
+// catch it before the tracer runs.
+func TestStencilNeedsGrid(t *testing.T) {
+	s := DefaultSpec(Stencil2D)
+	s.Ranks = 7
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation error for 7-rank stencil2d")
+	}
+	s.Ranks = 9 // 3x3 is fine
+	if err := s.Validate(); err != nil {
+		t.Fatalf("9-rank stencil2d should validate: %v", err)
+	}
+}
