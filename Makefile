@@ -7,6 +7,7 @@ N ?= 4
 OUT ?= campaign.csv
 FORMAT ?= csv
 CACHE ?= trace-cache
+DIR ?= campaign-work
 ARGS ?= -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
 
 .PHONY: all build test race bench bench-smoke bench-json bench-compare campaign serve lint fmt fuzz
@@ -56,13 +57,16 @@ bench-compare: bench-json
 	$(GO) run ./cmd/benchjson compare docs/bench-baseline.json BENCH_PR3.json \
 		-threshold 300% -allocs-threshold 10%
 
-# One-command local scale-out: N parallel shard processes sharing one
-# cache directory — traces AND replay results (the replay store), so a
-# re-run of the same campaign does zero instrumented runs and zero
-# replays — merged byte-identically. Override the knobs above, e.g.:
+# One-command local scale-out: a fault-tolerant `overlapsim campaign`
+# coordinator feeding N spawned worker processes through leases with
+# heartbeats and retry/backoff, all sharing one cache directory — traces
+# AND replay results (the replay store), so a re-run of the same campaign
+# does zero instrumented runs and zero replays — merged byte-identically.
+# A failed campaign keeps its journal in $(DIR); finish the remainder with
+# RESUME=1. Override the knobs above, e.g.:
 #   make campaign N=8 OUT=grid.csv ARGS="-apps bt,cg -bws 64MB/s,1GB/s"
 campaign:
-	N=$(N) OUT=$(OUT) FORMAT=$(FORMAT) CACHE=$(CACHE) GO=$(GO) ./scripts/campaign.sh $(ARGS)
+	N=$(N) OUT=$(OUT) FORMAT=$(FORMAT) CACHE=$(CACHE) DIR=$(DIR) GO=$(GO) ./scripts/campaign.sh $(ARGS)
 
 # Local sweep daemon sharing the campaign cache directory: submit grids
 # with POST /sweeps (docs/API.md), inspect the cache with

@@ -21,6 +21,14 @@
 //	                 [-imb F -jit F -deg N -seed N] | [-spec gen:...]
 //	                 [-chunks N] [-variant V] [-o|-out file] [-replay [platform flags]]
 //	overlapsim merge [-format table|csv|json] [-o|-out file] <shard.json> ...
+//	overlapsim campaign [-dir dir] [-resume] [-addr host:port] [-local-workers N]
+//	                 [-spawn N] [-workers N] [-chunk-points N] [-lease-ttl D]
+//	                 [-max-attempts N] [-backoff-base D] [-backoff-cap D] [-backoff-seed N]
+//	                 [-cache-dir dir] [-format table|csv|json] [-o|-out file]
+//	                 [-chaos F -chaos-mode crash|stall|drop|mix -chaos-seed N]
+//	                 -- <sweep spec: axis/platform/-size/-iters flags>
+//	overlapsim worker -coordinator URL [-id name] [-cache-dir dir] [-workers N]
+//	                 [-chaos F -chaos-mode M -chaos-seed N]
 //	overlapsim serve [-addr host:port] [-cache-dir dir] [-results-dir dir]
 //	                 [-max-concurrent N] [-max-queued N] [-max-points N]
 //	                 [-workers N] [-quiet] [platform flags]
@@ -45,6 +53,15 @@
 // the mergeable envelope. -cache-dir persists both traces and replay
 // results, so an identical re-run performs zero instrumented runs and zero
 // replays (see the sweep: work: line).
+//
+// campaign is the fault-tolerant flavour of that pipeline: a coordinator
+// journals chunk state durably in -dir and leases chunks to pull workers
+// (in-process goroutines, or `overlapsim worker` processes — spawned
+// locally with -spawn or joined from other machines via -addr). Crashed
+// or stalled workers are detected by missed heartbeats and their chunks
+// retried with capped exponential backoff; a crashed coordinator is
+// restarted with -resume and completes only the unfinished remainder.
+// The assembled output is byte-identical to the same sweep run unsharded.
 //
 // serve turns that pipeline into a daemon: sweeps arrive as JSON over
 // POST /sweeps and stream back in grid order, every request sharing one
@@ -93,6 +110,10 @@ func main() {
 		err = runTracegen(os.Args[2:], os.Stdout)
 	case "merge":
 		err = runMerge(os.Args[2:], os.Stdout)
+	case "campaign":
+		err = runCampaign(os.Args[2:], os.Stdout)
+	case "worker":
+		err = runWorker(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "cache":
@@ -118,6 +139,8 @@ func usage() {
   overlapsim sweep -apps <a,b,...> [flags]        parallel parameter sweep (see -h)
   overlapsim tracegen [-pattern P] [flags]        generate a synthetic workload trace (or -replay it)
   overlapsim merge [flags] <shard.json> ...       recombine sweep shard outputs
+  overlapsim campaign [flags] -- <sweep spec>     fault-tolerant sweep: leases, heartbeats, crash-resumable journal
+  overlapsim worker -coordinator URL [flags]      join a campaign as a pull worker (optionally -chaos)
   overlapsim serve [flags]                        sweep-as-a-service HTTP daemon (docs/API.md)
   overlapsim cache ls|prune -dir <dir> [flags]    inspect and prune a shared cache directory`)
 }

@@ -29,6 +29,7 @@ func runServe(args []string) error {
 	maxQueued := fs.Int("max-queued", 4, "requests waiting for a run slot; beyond this new requests get 429")
 	maxPoints := fs.Int("max-points", 0, "reject grids expanding to more points with 413 (0 = no limit)")
 	workers := fs.Int("workers", 0, "each sweep's worker-pool size (0 = one per CPU); results are identical for any value")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain: how long in-flight requests may finish after SIGINT/SIGTERM before the listener is torn down")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
@@ -77,11 +78,9 @@ func runServe(args []string) error {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		logf("shutting down")
+		logf("shutting down (drain timeout %s)", *drainTimeout)
 		srv.CancelAll()
-		sd, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(sd); err != nil {
+		if err := serve.Drain(httpSrv, *drainTimeout); err != nil {
 			logf("shutdown: %v", err)
 		}
 	}()

@@ -1,0 +1,68 @@
+package campaign
+
+import "time"
+
+// Backoff computes the delay before a failed chunk may be leased again:
+// capped exponential growth in the attempt number, with deterministic
+// "equal jitter" — the delay is drawn from [d/2, d) where d is the capped
+// exponential step, and the draw is a pure hash of (Seed, chunk, attempt).
+// Determinism matters twice: tests can pin the exact schedule, and every
+// re-run of a campaign retries on the same timetable, so a failure
+// observed once reproduces.
+type Backoff struct {
+	// Base is the exponential's first step — the nominal delay after the
+	// first failed attempt (default DefaultBackoffBase).
+	Base time.Duration
+	// Cap bounds the exponential (default DefaultBackoffCap).
+	Cap time.Duration
+	// Seed selects the jitter sequence.
+	Seed uint64
+}
+
+// Default backoff parameters: quick first retries (a worker crash should
+// not idle the campaign), a cap low enough that a transiently poisoned
+// chunk is retried a few times a minute rather than once an hour.
+const (
+	DefaultBackoffBase = 500 * time.Millisecond
+	DefaultBackoffCap  = 30 * time.Second
+)
+
+// Delay returns the backoff before attempt+1 may start, given that
+// `attempt` attempts (1-based) have already failed for the chunk.
+func (b Backoff) Delay(chunk, attempt int) time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= cap || d < 0 { // d < 0: overflow
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	// Equal jitter: keep half the step deterministic floor, jitter the rest
+	// from the seeded hash so concurrent retries de-synchronize.
+	h := mix64(b.Seed ^ mix64(uint64(chunk)+1) ^ mix64(uint64(attempt)<<20))
+	frac := float64(h>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed stateless
+// hash (the same construction the tracegen package draws from).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffGolden pins the exact retry schedule for a fixed seed: the
+// delays are pure functions of (Seed, chunk, attempt), so any drift in
+// the hash, the jitter window or the capping is a silent change to every
+// campaign's retry behaviour and must show up here.
+func TestBackoffGolden(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Seed: 1}
+	golden := []struct {
+		chunk, attempt int
+		want           time.Duration
+	}{
+		{0, 1, 80543850},
+		{0, 2, 138185511},
+		{0, 3, 272790810},
+		{0, 4, 563137924},
+		{0, 5, 1382134547},
+		{0, 6, 1263217800}, // step capped at 2s; jitter window [1s, 2s)
+		{1, 1, 80252699},
+		{1, 2, 113418164},
+		{1, 3, 272770009},
+		{1, 4, 652445864},
+		{1, 5, 811966233},
+		{1, 6, 1340590335},
+		{2, 1, 58006401},
+		{2, 2, 148754414},
+		{2, 3, 280393626},
+		{2, 4, 693125242},
+		{2, 5, 1130390941},
+		{2, 6, 1226055728},
+	}
+	for _, g := range golden {
+		if got := b.Delay(g.chunk, g.attempt); got != g.want {
+			t.Errorf("Delay(chunk=%d, attempt=%d) = %d, want %d", g.chunk, g.attempt, int64(got), int64(g.want))
+		}
+	}
+}
+
+// TestBackoffWindow checks the equal-jitter invariant: every delay lies
+// in [step/2, step) where step is the capped exponential, for every
+// chunk/attempt/seed combination tried.
+func TestBackoffWindow(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 1 * time.Second, Seed: 42}
+	for chunk := 0; chunk < 20; chunk++ {
+		step := 50 * time.Millisecond
+		for attempt := 1; attempt <= 10; attempt++ {
+			if attempt > 1 {
+				step *= 2
+				if step > time.Second {
+					step = time.Second
+				}
+			}
+			d := b.Delay(chunk, attempt)
+			if d < step/2 || d >= step {
+				t.Fatalf("Delay(chunk=%d, attempt=%d) = %v outside [%v, %v)", chunk, attempt, d, step/2, step)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministicAndSeeded: same inputs repeat exactly;
+// different seeds de-synchronize.
+func TestBackoffDeterministicAndSeeded(t *testing.T) {
+	a := Backoff{Base: time.Second, Cap: time.Minute, Seed: 7}
+	b := Backoff{Base: time.Second, Cap: time.Minute, Seed: 8}
+	if a.Delay(3, 2) != a.Delay(3, 2) {
+		t.Fatal("same seed/chunk/attempt gave different delays")
+	}
+	same := 0
+	for chunk := 0; chunk < 50; chunk++ {
+		if a.Delay(chunk, 2) == b.Delay(chunk, 2) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+// TestBackoffDefaultsAndOverflow: the zero value uses the documented
+// defaults, and absurd attempt counts saturate at the cap instead of
+// overflowing into negative durations.
+func TestBackoffDefaultsAndOverflow(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0, 1)
+	if d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Errorf("zero-value first delay %v outside [%v, %v)", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	for _, attempt := range []int{40, 63, 64, 100, 1 << 20} {
+		d := b.Delay(5, attempt)
+		if d < DefaultBackoffCap/2 || d >= DefaultBackoffCap {
+			t.Errorf("Delay(attempt=%d) = %v outside capped window [%v, %v)", attempt, d, DefaultBackoffCap/2, DefaultBackoffCap)
+		}
+	}
+	if d := b.Delay(1, 0); d <= 0 {
+		t.Errorf("Delay(attempt=0) = %v, want positive (clamped to attempt 1)", d)
+	}
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChaosMode selects which failure a chaotic worker injects when the
+// seeded coin comes up.
+type ChaosMode int
+
+const (
+	// ChaosOff injects nothing.
+	ChaosOff ChaosMode = iota
+	// ChaosCrash exits the worker process mid-chunk (exercises lease
+	// expiry and re-lease).
+	ChaosCrash
+	// ChaosStall sits on the chunk past the lease TTL without
+	// heartbeating, then completes anyway (exercises the stale-completion
+	// path).
+	ChaosStall
+	// ChaosDrop runs the chunk but never reports it (exercises expiry with
+	// a live worker that moves on).
+	ChaosDrop
+	// ChaosMix rotates crash/stall/drop per injection.
+	ChaosMix
+)
+
+// ChaosAction is the outcome of one chaos draw.
+type ChaosAction int
+
+const (
+	ActNone ChaosAction = iota
+	ActCrash
+	ActStall
+	ActDrop
+)
+
+// String renders the action for logs.
+func (a ChaosAction) String() string {
+	switch a {
+	case ActCrash:
+		return "crash"
+	case ActStall:
+		return "stall"
+	case ActDrop:
+		return "drop"
+	}
+	return "none"
+}
+
+// ParseChaosMode parses the -chaos-mode flag value.
+func ParseChaosMode(s string) (ChaosMode, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return ChaosOff, nil
+	case "crash":
+		return ChaosCrash, nil
+	case "stall":
+		return ChaosStall, nil
+	case "drop":
+		return ChaosDrop, nil
+	case "mix":
+		return ChaosMix, nil
+	}
+	return ChaosOff, fmt.Errorf("campaign: unknown chaos mode %q (want off, crash, stall, drop or mix)", s)
+}
+
+// Chaos is a worker's deterministic fault-injection schedule: each
+// (chunk, attempt) pair gets an independent seeded draw, so a given seed
+// reproduces the exact same failure sequence — the property that lets CI
+// assert recovery rather than hope for it.
+type Chaos struct {
+	// Rate is the per-chunk injection probability in [0, 1].
+	Rate float64
+	// Seed selects the draw sequence.
+	Seed uint64
+	// Mode selects the injected failure.
+	Mode ChaosMode
+}
+
+// Enabled reports whether any injection can happen.
+func (c Chaos) Enabled() bool { return c.Mode != ChaosOff && c.Rate > 0 }
+
+// Action returns the injected failure (or ActNone) for the given chunk
+// attempt. The first attempt of a chunk under "mix" draws crash, the
+// retry draws stall, and so on — so a high rate still converges, because
+// drop and stall both leave the chunk completable by a later lease.
+func (c Chaos) Action(chunk, attempt int) ChaosAction {
+	if !c.Enabled() {
+		return ActNone
+	}
+	h := mix64(c.Seed ^ mix64(uint64(chunk)<<16) ^ mix64(uint64(attempt)+7))
+	if float64(h>>11)/float64(1<<53) >= c.Rate {
+		return ActNone
+	}
+	switch c.Mode {
+	case ChaosCrash:
+		return ActCrash
+	case ChaosStall:
+		return ActStall
+	case ChaosDrop:
+		return ActDrop
+	case ChaosMix:
+		switch (attempt - 1) % 3 {
+		case 0:
+			return ActCrash
+		case 1:
+			return ActStall
+		default:
+			return ActDrop
+		}
+	}
+	return ActNone
+}

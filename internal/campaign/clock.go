@@ -1,0 +1,32 @@
+package campaign
+
+import "time"
+
+// Clock abstracts "now" so lease expiry and retry backoff are
+// deterministic under test: the coordinator never sleeps on the clock, it
+// only compares instants, so a fake clock that jumps forward exercises
+// every timeout path synchronously.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock is the wall clock.
+var RealClock Clock = realClock{}
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	t time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now returns the fake instant.
+func (c *FakeClock) Now() time.Time { return c.t }
+
+// Advance moves the clock forward.
+func (c *FakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }

@@ -1,0 +1,416 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"overlapsim/internal/sweep"
+	"overlapsim/internal/units"
+)
+
+// testSig is the synthetic sweep signature the coordinator tests run
+// under; envelope validation only requires internal consistency, so no
+// actual simulation is needed to exercise the protocol.
+const testSig = "00c0ffee00c0ffee"
+
+// testConfig is a 10-point campaign in 3 chunks (4+4+2) on a fake clock.
+func testConfig(t *testing.T, clk Clock) Config {
+	t.Helper()
+	return Config{
+		Signature:   testSig,
+		Total:       10,
+		ChunkPoints: 4,
+		LeaseTTL:    10 * time.Second,
+		MaxAttempts: 3,
+		Backoff:     Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Seed: 1},
+		Clock:       clk,
+		Dir:         t.TempDir(),
+		Logf:        t.Logf,
+	}
+}
+
+// envelope fabricates a valid shard envelope for one chunk of the test
+// campaign: synthetic but internally consistent results for exactly the
+// chunk's indices.
+func envelope(t *testing.T, cfg Config, chunk int) []byte {
+	t.Helper()
+	indices := chunkIndices(cfg.Total, cfg.ChunkPoints, chunk)
+	results := make([]sweep.Result, len(indices))
+	for i, idx := range indices {
+		results[i] = sweep.Result{
+			Point:     sweep.Point{App: "pingpong", Ranks: 2, Bandwidth: units.Bandwidth(idx + 1), Chunks: 4},
+			Bandwidth: units.Bandwidth(idx + 1),
+			TOriginal: units.Time(1000 * (idx + 1)),
+			TOverlap:  units.Time(900 * (idx + 1)),
+			Speedup:   1.1,
+			Steps:     int64(idx),
+		}
+	}
+	var buf bytes.Buffer
+	sh := sweep.Shard{K: chunk + 1, N: numChunks(cfg.Total, cfg.ChunkPoints)}
+	if err := sweep.WriteShard(&buf, cfg.Signature, cfg.Total, sh, indices, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func isDone(c *Coordinator) bool {
+	select {
+	case <-c.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// TestLeaseLifecycle drives a clean campaign: three workers each lease a
+// chunk, a fourth finds nothing and is told to poll, completions land
+// exactly once, and assembly recovers all ten points in order.
+func TestLeaseLifecycle(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := map[string]*Lease{}
+	for _, w := range []string{"w1", "w2", "w3"} {
+		l, wait, err := c.Lease(w)
+		if err != nil || l == nil {
+			t.Fatalf("Lease(%s): lease %v wait %v err %v", w, l, wait, err)
+		}
+		leases[w] = l
+	}
+	if l, wait, err := c.Lease("w4"); l != nil || err != nil || wait <= 0 {
+		t.Fatalf("fourth lease: got %v wait %v err %v, want poll-later", l, wait, err)
+	}
+	for w, l := range leases {
+		if err := c.Complete(w, l.Chunk, sweep.Counters{Traces: 1}, envelope(t, cfg, l.Chunk)); err != nil {
+			t.Fatalf("Complete(%s, %d): %v", w, l.Chunk, err)
+		}
+	}
+	if !isDone(c) {
+		t.Fatal("campaign not done after all chunks completed")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil", err)
+	}
+	if _, _, err := c.Lease("w5"); !errors.Is(err, ErrCampaignDone) {
+		t.Fatalf("lease after done: %v, want ErrCampaignDone", err)
+	}
+	res, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != cfg.Total {
+		t.Fatalf("assembled %d results, want %d", len(res), cfg.Total)
+	}
+	for i, r := range res {
+		if r.Bandwidth != units.Bandwidth(i+1) {
+			t.Fatalf("result %d out of order: bandwidth %v", i, r.Bandwidth)
+		}
+	}
+	ct := c.Counters()
+	if ct.Done != 3 || ct.Leases != 3 || ct.Work.Traces != 3 {
+		t.Fatalf("counters %+v, want 3 done / 3 leases / 3 traces", ct)
+	}
+}
+
+// TestHeartbeatExtendsLease pins the liveness contract: heartbeats keep a
+// lease alive past its original TTL, and once they stop the lease
+// expires and the chunk is re-leased with the attempt count advanced.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	cfg.Total, cfg.ChunkPoints = 2, 4 // single chunk
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := c.Lease("w1")
+	if err != nil || l == nil || l.Attempt != 1 {
+		t.Fatalf("first lease: %+v err %v", l, err)
+	}
+	// Renew twice at 90% of the TTL: without the heartbeats the lease
+	// would have lapsed after the first interval.
+	for i := 0; i < 2; i++ {
+		clk.Advance(9 * time.Second)
+		if err := c.Heartbeat("w1", l.Chunk); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if l2, _, _ := c.Lease("w2"); l2 != nil {
+		t.Fatalf("chunk re-leased to w2 while w1's heartbeats are live: %+v", l2)
+	}
+	// Silence: the lease lapses, the chunk backs off, then w2 gets it.
+	clk.Advance(cfg.LeaseTTL + time.Second)
+	clk.Advance(cfg.Backoff.Delay(0, 1))
+	l2, wait, err := c.Lease("w2")
+	if err != nil || l2 == nil {
+		t.Fatalf("re-lease after expiry: lease %v wait %v err %v", l2, wait, err)
+	}
+	if l2.Chunk != l.Chunk || l2.Attempt != 2 {
+		t.Fatalf("re-lease = %+v, want chunk %d attempt 2", l2, l.Chunk)
+	}
+	if err := c.Heartbeat("w1", l.Chunk); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder heartbeat: %v, want ErrLeaseLost", err)
+	}
+	if ct := c.Counters(); ct.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", ct.Expired)
+	}
+}
+
+// TestExpiryBackoffSchedule pins that an expired chunk is not leasable
+// again until its deterministic backoff has elapsed.
+func TestExpiryBackoffSchedule(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	cfg.Total, cfg.ChunkPoints = 2, 4 // single chunk
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Lease("w1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(cfg.LeaseTTL + time.Nanosecond)
+	delay := cfg.Backoff.Delay(0, 1)
+	// Just inside the backoff window: refused, with a poll hint no longer
+	// than the remaining backoff.
+	l, wait, err := c.Lease("w2")
+	if err != nil || l != nil {
+		t.Fatalf("lease inside backoff: %+v err %v", l, err)
+	}
+	if wait <= 0 || wait > delay {
+		t.Fatalf("poll hint %v, want in (0, %v]", wait, delay)
+	}
+	clk.Advance(delay)
+	if l, _, err := c.Lease("w2"); err != nil || l == nil {
+		t.Fatalf("lease after backoff elapsed: %v err %v", l, err)
+	}
+}
+
+// TestExactlyOnceCompletion drives the stale/duplicate matrix: a
+// completion from an expired lease is accepted when it is first (the
+// results are deterministic — the work is good regardless of who reports
+// it), and the re-leased worker's later completion is discarded.
+func TestExactlyOnceCompletion(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	cfg.Total, cfg.ChunkPoints = 2, 4 // single chunk
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _, err := c.Lease("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(cfg.LeaseTTL + time.Second)
+	clk.Advance(cfg.Backoff.Delay(0, 1))
+	l2, _, err := c.Lease("w2")
+	if err != nil || l2 == nil {
+		t.Fatalf("re-lease: %v err %v", l2, err)
+	}
+	// w1 (stale) reports first: accepted.
+	if err := c.Complete("w1", l1.Chunk, sweep.Counters{Traces: 1}, envelope(t, cfg, l1.Chunk)); err != nil {
+		t.Fatalf("stale completion rejected: %v", err)
+	}
+	if !isDone(c) {
+		t.Fatal("campaign not done after stale completion")
+	}
+	// w2 reports the same chunk: duplicate, discarded, but its work still
+	// counts — it really happened.
+	if err := c.Complete("w2", l2.Chunk, sweep.Counters{Traces: 1}, envelope(t, cfg, l2.Chunk)); err != nil {
+		t.Fatalf("duplicate completion errored: %v", err)
+	}
+	ct := c.Counters()
+	if ct.Done != 1 || ct.StaleCompletions != 1 || ct.Duplicates != 1 || ct.Work.Traces != 2 {
+		t.Fatalf("counters %+v, want done 1 / stale 1 / dup 1 / traces 2", ct)
+	}
+	if _, err := c.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantine pins the poison-chunk policy: MaxAttempts failed leases
+// quarantine the chunk, the campaign settles with an error naming it,
+// and workers are told the campaign is over rather than spun forever.
+func TestQuarantine(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	cfg.Total, cfg.ChunkPoints = 2, 4 // single chunk
+	cfg.MaxAttempts = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		clk.Advance(cfg.Backoff.Delay(0, attempt-1) + time.Second)
+		l, wait, err := c.Lease("w1")
+		if err != nil || l == nil {
+			t.Fatalf("attempt %d: lease %v wait %v err %v", attempt, l, wait, err)
+		}
+		if l.Attempt != attempt {
+			t.Fatalf("attempt %d: lease says attempt %d", attempt, l.Attempt)
+		}
+		if err := c.Fail("w1", l.Chunk, "injected failure"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !isDone(c) {
+		t.Fatal("campaign not settled after quarantine")
+	}
+	if _, _, err := c.Lease("w2"); !errors.Is(err, ErrCampaignDone) {
+		t.Fatalf("lease after quarantine: %v, want ErrCampaignDone", err)
+	}
+	err = c.Err()
+	if err == nil || !strings.Contains(err.Error(), "quarantined") || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("Err = %v, want quarantine report with the failure reason", err)
+	}
+	if _, err := c.Assemble(); err == nil {
+		t.Fatal("Assemble succeeded on a quarantined campaign")
+	}
+	if ct := c.Counters(); ct.Quarantined != 1 || ct.Failures != 2 {
+		t.Fatalf("counters %+v, want quarantined 1 / failures 2", ct)
+	}
+}
+
+// TestResume is the crash-recovery contract: a new coordinator over the
+// same directory sees completed chunks as done, re-queues the rest with
+// attempt counts intact, and adopts a chunk whose result file survived a
+// crash that hit before the journal marked it done.
+func TestResume(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 0 completes; chunk 1 is leased (a lease that will die with
+	// this coordinator); chunk 2 stays pending.
+	l0, _, err := c.Lease("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", l0.Chunk, sweep.Counters{}, envelope(t, cfg, l0.Chunk)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Lease("w2"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn-write window for chunk 2: its result file landed
+	// but the coordinator died before journaling "done".
+	if err := os.WriteFile(ChunkFilePath(cfg.Dir, 2), envelope(t, cfg, 2), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": drop the coordinator, reopen the directory.
+	c2, err := Resume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := c2.Counters()
+	if ct.Done != 2 || ct.Adopted != 1 {
+		t.Fatalf("resumed counters %+v, want done 2 / adopted 1", ct)
+	}
+	// Only chunk 1 remains; its first lease under the new coordinator
+	// carries attempt 2 (the journal preserved the count).
+	l, _, err := c2.Lease("w3")
+	if err != nil || l == nil || l.Chunk != 1 {
+		t.Fatalf("resumed lease: %+v err %v, want chunk 1", l, err)
+	}
+	if l.Attempt != 2 {
+		t.Fatalf("resumed lease attempt %d, want 2 (journal keeps the count)", l.Attempt)
+	}
+	if err := c2.Complete("w3", 1, sweep.Counters{}, envelope(t, cfg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !isDone(c2) {
+		t.Fatal("resumed campaign not done")
+	}
+	res, err := c2.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != cfg.Total {
+		t.Fatalf("assembled %d results, want %d", len(res), cfg.Total)
+	}
+
+	// A third open over a fully finished campaign has nothing to lease.
+	c3, err := Resume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isDone(c3) {
+		t.Fatal("resume of a finished campaign is not done")
+	}
+	if _, _, err := c3.Lease("w4"); !errors.Is(err, ErrCampaignDone) {
+		t.Fatalf("lease on finished campaign: %v, want ErrCampaignDone", err)
+	}
+}
+
+// TestResumeGuards pins the identity checks around resume: a fresh
+// campaign refuses a directory with a journal, and resume refuses a
+// journal from a different sweep.
+func TestResumeGuards(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("New over existing journal: %v, want refusal mentioning -resume", err)
+	}
+	other := cfg
+	other.Signature = "deadbeefdeadbeef"
+	if _, err := Resume(other); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("Resume with wrong signature: %v, want identity error", err)
+	}
+	other = cfg
+	other.Total = 99
+	if _, err := Resume(other); err == nil {
+		t.Fatal("Resume with wrong total succeeded")
+	}
+	missing := cfg
+	missing.Dir = t.TempDir()
+	if _, err := Resume(missing); err == nil {
+		t.Fatal("Resume with no journal succeeded")
+	}
+}
+
+// TestCompleteValidation: the coordinator rejects envelopes that do not
+// belong — wrong sweep, wrong chunk coverage, garbage bytes.
+func TestCompleteValidation(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(t, clk)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := c.Lease("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", l.Chunk, sweep.Counters{}, []byte("not json")); err == nil {
+		t.Fatal("garbage envelope accepted")
+	}
+	otherCfg := cfg
+	otherCfg.Signature = "deadbeefdeadbeef"
+	if err := c.Complete("w1", l.Chunk, sweep.Counters{}, envelope(t, otherCfg, l.Chunk)); err == nil || !strings.Contains(err.Error(), "sweep") {
+		t.Fatalf("wrong-signature envelope: %v, want sweep mismatch", err)
+	}
+	wrongChunk := (l.Chunk + 1) % numChunks(cfg.Total, cfg.ChunkPoints)
+	if err := c.Complete("w1", l.Chunk, sweep.Counters{}, envelope(t, cfg, wrongChunk)); err == nil {
+		t.Fatal("wrong-chunk envelope accepted")
+	}
+	// The failed completions must not have corrupted the chunk's state:
+	// the correct envelope still lands.
+	if err := c.Complete("w1", l.Chunk, sweep.Counters{}, envelope(t, cfg, l.Chunk)); err != nil {
+		t.Fatal(err)
+	}
+}

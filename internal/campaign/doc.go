@@ -1,0 +1,36 @@
+// Package campaign is the fault-tolerant sweep coordinator: it owns a
+// full sweep grid, partitions its expanded point indices into contiguous
+// chunks, and hands chunks out to workers under time-bounded leases.
+// Workers are anonymous and interchangeable — a local goroutine pool, or
+// `overlapsim worker` processes on any machine speaking the HTTP/JSON
+// protocol in http.go — and pull work as fast as they finish it, so a
+// slow worker merely holds few chunks instead of gating a static slice.
+//
+// Robustness model. A lease must be renewed by heartbeat within its TTL;
+// a worker that crashes or stalls simply stops heartbeating, its lease
+// expires, and the chunk returns to the queue with capped exponential
+// backoff (seeded jitter, deterministic — see Backoff). Every lease
+// increments the chunk's attempt count; a chunk that keeps failing is
+// quarantined after MaxAttempts rather than retried forever, and the
+// campaign reports it instead of hanging. Completion is exactly-once: the
+// first completed result of a chunk wins, late or duplicate completions
+// from expired leases are counted and discarded, and the final merge goes
+// through sweep.Merge, whose signature and exactly-once coverage checks
+// police the assembled campaign.
+//
+// Durability model. Chunk state (pending/done/quarantined plus attempt
+// counts) lives in a journal file written atomically (temp+rename, like
+// the caches) on every durable transition; each completed chunk's results
+// are a shard-envelope file written the same way before the journal marks
+// the chunk done. A coordinator crash therefore loses only leases — which
+// were never durable — and Resume re-queues exactly the unfinished
+// remainder. A chunk whose result file survived a crash in the window
+// before its journal write is adopted on resume, not re-run. The final
+// output is byte-identical to the same grid run unsharded.
+//
+// Failure injection. The coordinator takes an injectable Clock, so lease
+// expiry, backoff and heartbeats are all testable without sleeping; Chaos
+// gives worker processes a seeded, deterministic schedule of injected
+// crashes, stalls and dropped results, so every recovery path above is
+// exercised end-to-end in CI.
+package campaign

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"overlapsim/internal/trace"
+)
+
+// State is a chunk's durable lifecycle state. Leases are deliberately not
+// a durable state: a lease is a promise by a live worker, and after a
+// coordinator crash no such promise survives, so a leased chunk journals
+// (and reloads) as pending.
+type State string
+
+const (
+	// StatePending: not yet completed; may be waiting out a retry backoff.
+	StatePending State = "pending"
+	// StateLeased: held by a worker under a live lease (in-memory only).
+	StateLeased State = "leased"
+	// StateDone: results are on disk in the chunk's shard-envelope file.
+	StateDone State = "done"
+	// StateQuarantined: failed MaxAttempts times; excluded from leasing and
+	// reported, so one poison chunk cannot spin the campaign forever.
+	StateQuarantined State = "quarantined"
+)
+
+// JournalVersion is the journal file format version.
+const JournalVersion = "cj1"
+
+// journalMagic heads every journal file.
+const journalMagic = "overlapsim-campaign"
+
+// ChunkRecord is one chunk's durable state.
+type ChunkRecord struct {
+	State    State
+	Attempts int
+}
+
+// Journal is the durable campaign ledger: the campaign's identity (the
+// sweep signature, total point count and chunking) plus every chunk's
+// state and attempt count. It is rewritten atomically (temp+rename) on
+// each durable transition — the files are a few KB even for thousand-
+// chunk campaigns, and atomicity is what lets `-resume` trust whatever it
+// finds after a SIGKILL.
+type Journal struct {
+	Signature   string
+	Total       int
+	ChunkPoints int
+	Chunks      []ChunkRecord
+}
+
+// journalPath is the journal file inside a campaign directory.
+func journalPath(dir string) string { return filepath.Join(dir, "journal") }
+
+// ChunkFilePath is chunk j's result file inside a campaign directory: a
+// shard-envelope (overlapsim merge) file covering the chunk's indices.
+func ChunkFilePath(dir string, j int) string {
+	return filepath.Join(dir, fmt.Sprintf("chunk-%04d.json", j))
+}
+
+// JournalExists reports whether dir already holds a campaign journal —
+// the guard that makes a fresh campaign refuse to silently overwrite an
+// interrupted one.
+func JournalExists(dir string) bool {
+	_, err := os.Stat(journalPath(dir))
+	return err == nil
+}
+
+// WriteJournal atomically persists the journal into dir.
+func WriteJournal(dir string, j *Journal) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	err := trace.WriteFileAtomic(journalPath(dir), func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "%s %s\nsignature=%s total=%d chunk_points=%d chunks=%d\n",
+			journalMagic, JournalVersion, j.Signature, j.Total, j.ChunkPoints, len(j.Chunks)); err != nil {
+			return err
+		}
+		for i, c := range j.Chunks {
+			st := c.State
+			if st == StateLeased {
+				// A lease is not durable: whoever reads this journal is a
+				// different process, for whom the leaseholder is gone.
+				st = StatePending
+			}
+			if _, err := fmt.Fprintf(w, "chunk=%d state=%s attempts=%d\n", i, st, c.Attempts); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal loads and validates the journal in dir.
+func ReadJournal(dir string) (*Journal, error) {
+	f, err := os.Open(journalPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	j, err := decodeJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal %s: %w", journalPath(dir), err)
+	}
+	return j, nil
+}
+
+func decodeJournal(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty file")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != journalMagic {
+		return nil, fmt.Errorf("bad header %q", sc.Text())
+	}
+	if header[1] != JournalVersion {
+		return nil, fmt.Errorf("journal version %q (this build reads %s)", header[1], JournalVersion)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("truncated file (no identity line)")
+	}
+	var j Journal
+	chunks := -1
+	for _, field := range strings.Fields(sc.Text()) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad identity field %q", field)
+		}
+		var err error
+		switch k {
+		case "signature":
+			j.Signature = v
+		case "total":
+			j.Total, err = strconv.Atoi(v)
+		case "chunk_points":
+			j.ChunkPoints, err = strconv.Atoi(v)
+		case "chunks":
+			chunks, err = strconv.Atoi(v)
+		default:
+			return nil, fmt.Errorf("unknown identity field %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q: %v", k, v, err)
+		}
+	}
+	if j.Signature == "" || j.Total < 1 || j.ChunkPoints < 1 || chunks < 1 {
+		return nil, fmt.Errorf("incomplete identity line %q", sc.Text())
+	}
+	if want := numChunks(j.Total, j.ChunkPoints); chunks != want {
+		return nil, fmt.Errorf("identity declares %d chunks but %d points in chunks of %d make %d", chunks, j.Total, j.ChunkPoints, want)
+	}
+	j.Chunks = make([]ChunkRecord, chunks)
+	seen := make([]bool, chunks)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var idx int
+		rec := ChunkRecord{}
+		for _, field := range strings.Fields(line) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad chunk field %q", field)
+			}
+			var err error
+			switch k {
+			case "chunk":
+				idx, err = strconv.Atoi(v)
+			case "state":
+				rec.State = State(v)
+			case "attempts":
+				rec.Attempts, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("unknown chunk field %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad %s value %q: %v", k, v, err)
+			}
+		}
+		if idx < 0 || idx >= chunks {
+			return nil, fmt.Errorf("chunk index %d out of range [0,%d)", idx, chunks)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("chunk %d recorded twice", idx)
+		}
+		switch rec.State {
+		case StatePending, StateDone, StateQuarantined:
+		case StateLeased:
+			rec.State = StatePending
+		default:
+			return nil, fmt.Errorf("chunk %d has unknown state %q", idx, rec.State)
+		}
+		if rec.Attempts < 0 {
+			return nil, fmt.Errorf("chunk %d has negative attempts %d", idx, rec.Attempts)
+		}
+		seen[idx] = true
+		j.Chunks[idx] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("truncated file (chunk %d missing)", i)
+		}
+	}
+	return &j, nil
+}
+
+// numChunks is the chunk count of a total split into chunkPoints-sized
+// contiguous ranges (the last chunk may be short).
+func numChunks(total, chunkPoints int) int {
+	return (total + chunkPoints - 1) / chunkPoints
+}
+
+// chunkRange returns chunk j's half-open point-index range [lo, hi).
+func chunkRange(total, chunkPoints, j int) (lo, hi int) {
+	lo = j * chunkPoints
+	hi = lo + chunkPoints
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// chunkIndices returns chunk j's point indices in ascending order.
+func chunkIndices(total, chunkPoints, j int) []int {
+	lo, hi := chunkRange(total, chunkPoints, j)
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := &Journal{
+		Signature:   "cafebabe00112233",
+		Total:       10,
+		ChunkPoints: 4,
+		Chunks: []ChunkRecord{
+			{State: StateDone, Attempts: 1},
+			{State: StateLeased, Attempts: 2},
+			{State: StateQuarantined, Attempts: 5},
+		},
+	}
+	if err := WriteJournal(dir, j); err != nil {
+		t.Fatal(err)
+	}
+	if !JournalExists(dir) {
+		t.Fatal("JournalExists = false after WriteJournal")
+	}
+	got, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Signature != j.Signature || got.Total != j.Total || got.ChunkPoints != j.ChunkPoints {
+		t.Fatalf("identity round-trip: got %+v", got)
+	}
+	// A lease is a live worker's promise; on disk (i.e. for any future
+	// process) it must read back as pending.
+	want := []ChunkRecord{
+		{State: StateDone, Attempts: 1},
+		{State: StatePending, Attempts: 2},
+		{State: StateQuarantined, Attempts: 5},
+	}
+	for i, rec := range got.Chunks {
+		if rec != want[i] {
+			t.Errorf("chunk %d: got %+v, want %+v", i, rec, want[i])
+		}
+	}
+}
+
+func TestJournalRejectsCorruption(t *testing.T) {
+	valid := "overlapsim-campaign cj1\nsignature=ab total=10 chunk_points=4 chunks=3\n" +
+		"chunk=0 state=pending attempts=0\nchunk=1 state=done attempts=1\nchunk=2 state=pending attempts=0\n"
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"bad magic", strings.Replace(valid, "overlapsim-campaign", "overlapsim-journal", 1), "bad header"},
+		{"future version", strings.Replace(valid, "cj1", "cj9", 1), "version"},
+		{"chunk count mismatch", strings.Replace(valid, "chunks=3", "chunks=2", 1), "chunks"},
+		{"missing chunk", strings.TrimSuffix(valid, "chunk=2 state=pending attempts=0\n"), "chunk 2 missing"},
+		{"duplicate chunk", valid + "chunk=1 state=pending attempts=0\n", "twice"},
+		{"unknown state", strings.Replace(valid, "state=done", "state=meditating", 1), "unknown state"},
+		{"negative attempts", strings.Replace(valid, "attempts=1", "attempts=-1", 1), "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(journalPath(dir), []byte(tc.content), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadJournal(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+	// Sanity: the template itself must parse.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal"), []byte(valid), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(dir); err != nil {
+		t.Fatalf("valid template rejected: %v", err)
+	}
+}
+
+func TestChunkGeometry(t *testing.T) {
+	if n := numChunks(10, 4); n != 3 {
+		t.Errorf("numChunks(10, 4) = %d, want 3", n)
+	}
+	if n := numChunks(8, 4); n != 2 {
+		t.Errorf("numChunks(8, 4) = %d, want 2", n)
+	}
+	if lo, hi := chunkRange(10, 4, 2); lo != 8 || hi != 10 {
+		t.Errorf("chunkRange(10, 4, 2) = [%d, %d), want [8, 10)", lo, hi)
+	}
+	got := chunkIndices(10, 4, 2)
+	if len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Errorf("chunkIndices(10, 4, 2) = %v, want [8 9]", got)
+	}
+}

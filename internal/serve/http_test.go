@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthz pins the shared liveness document: 200, JSON, a status of
+// "ok", a non-empty version, and a sane uptime — the contract both the
+// sweep daemon and the campaign coordinator expose.
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("healthz content type %q, want application/json", ct)
+	}
+	var h HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status %q, want ok", h.Status)
+	}
+	if h.Version == "" {
+		t.Error("healthz version is empty")
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("healthz uptime %d < 0", h.UptimeSeconds)
+	}
+}
+
+// TestRetryDoJSON covers the shared client policy: 5xx responses are
+// retried until the server recovers, 4xx responses surface immediately as
+// a StatusError, and a 204 is a bodyless success.
+func TestRetryDoJSON(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/flaky", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			WriteError(w, http.StatusInternalServerError, "not yet")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"answer": "yes"})
+	})
+	mux.HandleFunc("/gone", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusGone, "campaign complete")
+	})
+	mux.HandleFunc("/nothing", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	p := Retry{Attempts: 5, Wait: time.Millisecond}
+	ctx := context.Background()
+
+	var out map[string]string
+	code, err := p.DoJSON(ctx, nil, http.MethodGet, ts.URL+"/flaky", nil, &out)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("flaky: code %d err %v", code, err)
+	}
+	if out["answer"] != "yes" {
+		t.Errorf("flaky answer %q", out["answer"])
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("flaky called %d times, want 3", n)
+	}
+
+	code, err = p.DoJSON(ctx, nil, http.MethodPost, ts.URL+"/gone", map[string]int{"chunk": 1}, nil)
+	if code != http.StatusGone {
+		t.Fatalf("gone: code %d, want 410", code)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Msg != "campaign complete" {
+		t.Fatalf("gone: err %v, want StatusError with message", err)
+	}
+
+	code, err = p.DoJSON(ctx, nil, http.MethodPost, ts.URL+"/nothing", map[string]int{}, &out)
+	if err != nil || code != http.StatusNoContent {
+		t.Fatalf("nothing: code %d err %v", code, err)
+	}
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -107,10 +106,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", HealthzHandler(s.start))
 	return mux
 }
 
@@ -125,19 +121,6 @@ func (s *Server) CancelAll() {
 			jb.cancel()
 		}
 	}
-}
-
-// errorJSON is the body of every non-streaming error response.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }
 
 // register creates and records a job in state queued.
@@ -210,7 +193,7 @@ func (s *Server) lookup(id string) *job {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeSweepRequest(r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		WriteError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	grid, err := req.Grid()
@@ -218,18 +201,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		err = grid.Validate()
 	}
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		WriteError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	format, err := req.ResponseFormat()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		WriteError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	total := grid.Size()
 	if s.cfg.MaxPoints > 0 && total > s.cfg.MaxPoints {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{fmt.Sprintf(
-			"grid expands to %d points, over the server's %d-point limit; split the request", total, s.cfg.MaxPoints)})
+		WriteError(w, http.StatusRequestEntityTooLarge,
+			"grid expands to %d points, over the server's %d-point limit; split the request", total, s.cfg.MaxPoints)
 		return
 	}
 
@@ -248,14 +231,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 			s.logf("%s: rejected: at capacity", jb.id)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorJSON{ErrBusy.Error()})
+			WriteJSON(w, http.StatusTooManyRequests, ErrorJSON{ErrBusy.Error()})
 			return
 		}
 		// Cancelled while waiting in the queue: the job never ran.
 		jb.finish(JobCanceled, "", sweep.Counters{})
 		s.noteFinished(jb)
 		s.logf("%s: canceled while queued", jb.id)
-		writeJSON(w, http.StatusConflict, jb.Status())
+		WriteJSON(w, http.StatusConflict, jb.Status())
 		return
 	}
 	defer s.queue.Release()
@@ -280,7 +263,7 @@ func (s *Server) finishHooked(w http.ResponseWriter, jb *job, ctx context.Contex
 		jb.finish(JobDone, "", sweep.Counters{})
 	}
 	s.noteFinished(jb)
-	writeJSON(w, http.StatusOK, jb.Status())
+	WriteJSON(w, http.StatusOK, jb.Status())
 }
 
 // contentType maps a sweep format to its media type.
@@ -406,10 +389,10 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	jb := s.lookup(r.PathValue("id"))
 	if jb == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("no such job %q", r.PathValue("id"))})
+		WriteJSON(w, http.StatusNotFound, ErrorJSON{fmt.Sprintf("no such job %q", r.PathValue("id"))})
 		return
 	}
-	writeJSON(w, http.StatusOK, jb.Status())
+	WriteJSON(w, http.StatusOK, jb.Status())
 }
 
 // handleCancel is DELETE /sweeps/{id}: cancel a queued or running job
@@ -419,16 +402,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	jb := s.lookup(r.PathValue("id"))
 	if jb == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("no such job %q", r.PathValue("id"))})
+		WriteJSON(w, http.StatusNotFound, ErrorJSON{fmt.Sprintf("no such job %q", r.PathValue("id"))})
 		return
 	}
 	if jb.State().Terminal() {
-		writeJSON(w, http.StatusConflict, errorJSON{fmt.Sprintf("job %s already %s", jb.id, jb.State())})
+		WriteJSON(w, http.StatusConflict, ErrorJSON{fmt.Sprintf("job %s already %s", jb.id, jb.State())})
 		return
 	}
 	jb.cancel()
 	s.logf("%s: cancel requested", jb.id)
-	writeJSON(w, http.StatusAccepted, jb.Status())
+	WriteJSON(w, http.StatusAccepted, jb.Status())
 }
 
 // handleList is GET /sweeps: every known job in submission order.
@@ -439,7 +422,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.jobs[id].Status())
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // StatsJSON is the document GET /stats returns: lifetime job accounting
@@ -480,7 +463,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Work = workJSON(s.work)
 	s.mu.Unlock()
 	st.UptimeSeconds = int64(time.Since(s.start).Seconds())
-	writeJSON(w, http.StatusOK, st)
+	WriteJSON(w, http.StatusOK, st)
 }
 
 // flushWriter flushes after every write, so each flushed prefix row

@@ -224,7 +224,7 @@ func TestServeRejectsAtCapacity(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second request: %s, want 429", resp.Status)
 	}
-	var e errorJSON
+	var e ErrorJSON
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 		t.Errorf("429 body: %v %+v", err, e)
 	}
@@ -408,7 +408,7 @@ func TestServeBadRequests(t *testing.T) {
 	}
 	for _, tc := range cases {
 		resp := postSweep(t, ts.URL, tc.body)
-		var e errorJSON
+		var e ErrorJSON
 		err := json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != tc.code {

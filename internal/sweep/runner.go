@@ -76,6 +76,30 @@ type Counters struct {
 	ReplayStoreHits int64
 }
 
+// Add returns the fieldwise sum of two counter snapshots — used to fold
+// per-worker work accounting into campaign totals.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Traces:          c.Traces + o.Traces,
+		TraceCacheHits:  c.TraceCacheHits + o.TraceCacheHits,
+		Replays:         c.Replays + o.Replays,
+		ReplayMemoHits:  c.ReplayMemoHits + o.ReplayMemoHits,
+		ReplayStoreHits: c.ReplayStoreHits + o.ReplayStoreHits,
+	}
+}
+
+// Sub returns the fieldwise difference c - o: the work done between two
+// snapshots of the same runner.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Traces:          c.Traces - o.Traces,
+		TraceCacheHits:  c.TraceCacheHits - o.TraceCacheHits,
+		Replays:         c.Replays - o.Replays,
+		ReplayMemoHits:  c.ReplayMemoHits - o.ReplayMemoHits,
+		ReplayStoreHits: c.ReplayStoreHits - o.ReplayStoreHits,
+	}
+}
+
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Counters {
 	return Counters{

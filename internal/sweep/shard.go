@@ -171,6 +171,43 @@ func (sp *shardPoint) setOverlay(o PlatformOverlay) {
 	}
 }
 
+// result reconstructs the full-fidelity Result the shard point encodes —
+// the inverse of WriteShard's projection, shared by Merge and the campaign
+// coordinator (whose chunk files are shard envelopes).
+func (sp *shardPoint) result() Result {
+	return Result{
+		Point: Point{
+			App:        sp.App,
+			Ranks:      sp.Ranks,
+			Bandwidth:  units.Bandwidth(sp.PointBandwidth),
+			Chunks:     sp.Chunks,
+			Mechanisms: overlap.Mechanism(sp.Mechanisms),
+			Pattern:    overlap.Pattern(sp.Pattern),
+			Platform:   sp.overlay(),
+		},
+		Bandwidth: units.Bandwidth(sp.Bandwidth),
+		TOriginal: units.Time(sp.TOriginal),
+		TOverlap:  units.Time(sp.TOverlap),
+		Speedup:   sp.Speedup,
+		Blocked:   sp.Blocked,
+		Steps:     sp.Steps,
+	}
+}
+
+// Results returns the envelope's point indices and their decoded results,
+// in file order (results[j] is the outcome of grid point indices[j]) — the
+// single-file counterpart of Merge for consumers that track coverage
+// themselves, like the campaign coordinator's per-chunk result files.
+func (sf *ShardFile) Results() ([]int, []Result) {
+	indices := make([]int, len(sf.Points))
+	results := make([]Result, len(sf.Points))
+	for j := range sf.Points {
+		indices[j] = sf.Points[j].Index
+		results[j] = sf.Points[j].result()
+	}
+	return indices, results
+}
+
 // overlay reconstructs the platform overlay from the envelope's optional
 // fields; absent fields stay unset.
 func (sp *shardPoint) overlay() PlatformOverlay {
@@ -300,23 +337,7 @@ func Merge(shards []*ShardFile) ([]Result, error) {
 				return nil, fmt.Errorf("sweep: point %d appears in more than one shard", pt.Index)
 			}
 			seen[pt.Index] = true
-			out[pt.Index] = Result{
-				Point: Point{
-					App:        pt.App,
-					Ranks:      pt.Ranks,
-					Bandwidth:  units.Bandwidth(pt.PointBandwidth),
-					Chunks:     pt.Chunks,
-					Mechanisms: overlap.Mechanism(pt.Mechanisms),
-					Pattern:    overlap.Pattern(pt.Pattern),
-					Platform:   pt.overlay(),
-				},
-				Bandwidth: units.Bandwidth(pt.Bandwidth),
-				TOriginal: units.Time(pt.TOriginal),
-				TOverlap:  units.Time(pt.TOverlap),
-				Speedup:   pt.Speedup,
-				Blocked:   pt.Blocked,
-				Steps:     pt.Steps,
-			}
+			out[pt.Index] = pt.result()
 		}
 	}
 	var missing []int

@@ -1,26 +1,34 @@
 #!/bin/sh
-# campaign.sh — shard-aware local campaign driver.
+# campaign.sh — thin wrapper over `overlapsim campaign`.
 #
-# Launches N `overlapsim sweep -shard k/N` processes in parallel, all
-# sharing one persistent cache directory — the trace cache (each workload
-# is traced once campaign-wide) and the replay store (each replay is
-# simulated once campaign-wide; a re-run of the same campaign replays
-# nothing at all) — then merges the shard files into the final output.
-# The merge verifies exactly-once coverage, and the result is
-# byte-identical to running the same sweep unsharded.
+# Builds the CLI and runs a fault-tolerant campaign: a coordinator that
+# journals chunk state durably in $DIR and feeds N spawned worker
+# processes through leases with heartbeats and retry/backoff. All workers
+# share one persistent cache directory — the trace cache (each workload is
+# traced once campaign-wide) and the replay store (each replay is
+# simulated once campaign-wide) — and the merged output is byte-identical
+# to running the same sweep unsharded.
+#
+# On failure the wrapper propagates the campaign's exact exit status and
+# keeps $DIR (journal + per-chunk results) for post-mortem; re-running
+# with RESUME=1 completes only the unfinished remainder. On success $DIR
+# is removed unless KEEP=1.
 #
 # Usage (normally driven by `make campaign`):
 #   N=4 OUT=campaign.csv FORMAT=csv CACHE=trace-cache ./scripts/campaign.sh \
 #       -apps pingpong -bws 64MB/s,256MB/s -chunks 4,8 -size 512 -iters 2
 #
-# All positional arguments are passed through to `overlapsim sweep`.
+# All positional arguments are the sweep spec, passed through after `--`.
 set -eu
 
 N="${N:-4}"
 OUT="${OUT:-campaign.csv}"
 FORMAT="${FORMAT:-csv}"
 CACHE="${CACHE:-trace-cache}"
+DIR="${DIR:-campaign-work}"
 GO="${GO:-go}"
+KEEP="${KEEP:-0}"
+RESUME="${RESUME:-0}"
 
 case "$N" in
 '' | *[!0-9]*)
@@ -33,35 +41,28 @@ if [ "$N" -lt 1 ]; then
     exit 2
 fi
 
-WORKDIR=$(mktemp -d)
-trap 'rm -rf "$WORKDIR"' EXIT INT TERM
+BINDIR=$(mktemp -d)
+trap 'rm -rf "$BINDIR"' EXIT INT TERM
 
-"$GO" build -o "$WORKDIR/overlapsim" ./cmd/overlapsim
+"$GO" build -o "$BINDIR/overlapsim" ./cmd/overlapsim
 
-pids=""
-k=1
-while [ "$k" -le "$N" ]; do
-    "$WORKDIR/overlapsim" sweep "$@" -shard "$k/$N" -cache-dir "$CACHE" \
-        -o "$WORKDIR/shard$k.json" &
-    pids="$pids $!"
-    k=$((k + 1))
-done
-
-fail=0
-for pid in $pids; do
-    wait "$pid" || fail=1
-done
-if [ "$fail" -ne 0 ]; then
-    echo "campaign: a shard process failed; not merging" >&2
-    exit 1
+set -- -- "$@"
+if [ "$RESUME" = 1 ]; then
+    set -- -resume "$@"
 fi
 
-shards=""
-k=1
-while [ "$k" -le "$N" ]; do
-    shards="$shards $WORKDIR/shard$k.json"
-    k=$((k + 1))
-done
-# shellcheck disable=SC2086 # word splitting of $shards is intended
-"$WORKDIR/overlapsim" merge -format "$FORMAT" -o "$OUT" $shards
-echo "campaign: $N shards merged into $OUT (trace cache: $CACHE)" >&2
+status=0
+"$BINDIR/overlapsim" campaign -dir "$DIR" -spawn "$N" -cache-dir "$CACHE" \
+    -format "$FORMAT" -o "$OUT" "$@" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "campaign: failed with exit status $status; journal and chunk results kept in $DIR" >&2
+    echo "campaign: finish the remainder with: RESUME=1 DIR=$DIR N=$N OUT=$OUT FORMAT=$FORMAT CACHE=$CACHE $0 <same sweep spec>" >&2
+    exit "$status"
+fi
+
+echo "campaign: $N workers completed into $OUT (trace cache: $CACHE)" >&2
+if [ "$KEEP" = 1 ]; then
+    echo "campaign: KEEP=1: campaign directory kept in $DIR" >&2
+else
+    rm -rf "$DIR"
+fi
