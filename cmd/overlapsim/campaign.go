@@ -59,11 +59,12 @@ func parseSweepSpec(spec []string) (sweep.Grid, machine.Config, int, int, error)
 // campaignRunner builds a fresh runner over the shared cache directory.
 // Each worker gets its own runner so per-chunk work accounting stays
 // attributable; the disk-level caches still share everything.
-func campaignRunner(cfg machine.Config, size, iters, pool int, cacheDir string, warn func(string)) *sweep.Runner {
+func campaignRunner(cfg machine.Config, size, iters, pool int, cacheDir string, rp *cliflag.Replay, warn func(string)) *sweep.Runner {
 	r := sweep.NewRunner(cfg)
 	r.Size = size
 	r.Iters = iters
 	r.Engine = sweep.Engine{Workers: pool}
+	rp.Apply(r)
 	if cacheDir != "" {
 		r.Cache = &sweep.TraceCache{Dir: cacheDir, Warn: warn}
 		r.Store = &replaystore.Store{Dir: cacheDir, Warn: warn}
@@ -100,6 +101,7 @@ func runCampaign(args []string, stdout io.Writer) error {
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate forwarded to spawned workers (0 disables)")
 	chaosMode := fs.String("chaos-mode", "crash", "fault to inject in spawned workers: crash, stall, drop or mix")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection schedule (worker i gets seed+i)")
+	rp := cliflag.RegisterReplay(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,7 +206,7 @@ func runCampaign(args []string, stdout io.Writer) error {
 				w := &campaign.Worker{
 					Board:     &campaign.LocalBoard{C: coord, Worker: id},
 					ID:        id,
-					Runner:    campaignRunner(base, size, iters, *workerPool, *cacheDir, warn),
+					Runner:    campaignRunner(base, size, iters, *workerPool, *cacheDir, rp, warn),
 					Grid:      grid,
 					Signature: sig,
 					Total:     total,
@@ -228,7 +230,7 @@ func runCampaign(args []string, stdout io.Writer) error {
 					if done() || ctx.Err() != nil {
 						return
 					}
-					cmd := exec.CommandContext(ctx, os.Args[0], spawnArgs(i, baseURL, *cacheDir, *workerPool, *chaosRate, *chaosMode, *chaosSeed)...)
+					cmd := exec.CommandContext(ctx, os.Args[0], spawnArgs(i, baseURL, *cacheDir, *workerPool, rp, *chaosRate, *chaosMode, *chaosSeed)...)
 					cmd.Stdout = os.Stderr
 					cmd.Stderr = os.Stderr
 					err := cmd.Run()
@@ -273,8 +275,8 @@ func runCampaign(args []string, stdout io.Writer) error {
 	ct := coord.Counters()
 	logf("chunks: %d total, %d done (%d adopted), %d leases, %d expired, %d failures, %d stale completions, %d duplicates, %d quarantined",
 		ct.Chunks, ct.Done, ct.Adopted, ct.Leases, ct.Expired, ct.Failures, ct.StaleCompletions, ct.Duplicates, ct.Quarantined)
-	fmt.Fprintf(os.Stderr, "campaign: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits\n",
-		ct.Work.Traces, ct.Work.TraceCacheHits, ct.Work.Replays, ct.Work.ReplayMemoHits, ct.Work.ReplayStoreHits)
+	fmt.Fprintf(os.Stderr, "campaign: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows\n",
+		ct.Work.Traces, ct.Work.TraceCacheHits, ct.Work.Replays, ct.Work.ReplayMemoHits, ct.Work.ReplayStoreHits, ct.Work.BatchedReplays, ct.Work.ParallelWindows)
 
 	w, closeOut := outputTarget(stdout, *out)
 	sink := sweep.NewBatchSink(w, f)
@@ -300,7 +302,7 @@ func unfinished(c *campaign.Coordinator) int {
 
 // spawnArgs builds a spawned worker's command line. Worker i gets chaos
 // seed+i so the processes fail on distinct, still-deterministic schedules.
-func spawnArgs(i int, baseURL, cacheDir string, pool int, chaosRate float64, chaosMode string, chaosSeed uint64) []string {
+func spawnArgs(i int, baseURL, cacheDir string, pool int, rp *cliflag.Replay, chaosRate float64, chaosMode string, chaosSeed uint64) []string {
 	args := []string{"worker",
 		"-coordinator", baseURL,
 		"-id", fmt.Sprintf("spawn-%d", i),
@@ -308,6 +310,12 @@ func spawnArgs(i int, baseURL, cacheDir string, pool int, chaosRate float64, cha
 	}
 	if cacheDir != "" {
 		args = append(args, "-cache-dir", cacheDir)
+	}
+	if rp.Par != 0 {
+		args = append(args, "-replay-par", strconv.Itoa(rp.Par))
+	}
+	if !rp.Batch {
+		args = append(args, "-replay-batch=false")
 	}
 	if chaosRate > 0 {
 		args = append(args,
@@ -333,6 +341,7 @@ func runWorker(args []string) error {
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate in [0,1] (0 disables)")
 	chaosMode := fs.String("chaos-mode", "crash", "fault to inject: crash, stall, drop or mix")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection schedule")
+	rp := cliflag.RegisterReplay(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -381,7 +390,7 @@ func runWorker(args []string) error {
 	w := &campaign.Worker{
 		Board:     client,
 		ID:        *id,
-		Runner:    campaignRunner(base, size, iters, *pool, *cacheDir, warn),
+		Runner:    campaignRunner(base, size, iters, *pool, *cacheDir, rp, warn),
 		Grid:      grid,
 		Signature: spec.Signature,
 		Total:     spec.Total,

@@ -78,6 +78,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"overlapsim"
@@ -291,6 +293,9 @@ func runSweep(args []string, stdout io.Writer) error {
 	progress := fs.Bool("progress", false, "report completed/total points to stderr as the sweep runs")
 	stream := fs.Bool("stream", false, "print completed points to stderr as they finish (completion order, unordered); the final output stays in grid order")
 	streamOrdered := fs.Bool("stream-ordered", false, "flush results to -o/stdout incrementally in grid order (longest finished prefix); an interrupt keeps the flushed prefix as a well-formed partial file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the sweep ends")
+	rp := cliflag.RegisterReplay(fs)
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -334,11 +339,52 @@ func runSweep(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// Profiles are written on every exit path — including an interrupt,
+	// which cancels the sweep through the signal context below and returns
+	// through these defers rather than killing the process.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: closing %s: %v\n", *cpuProfile, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sweep: cpu profile written to %s\n", *cpuProfile)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: writing %s: %v\n", *memProfile, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: closing %s: %v\n", *memProfile, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sweep: heap profile written to %s\n", *memProfile)
+			}
+		}()
+	}
+
 	warn := func(msg string) { fmt.Fprintln(os.Stderr, "sweep: warning:", msg) }
 	runner := sweep.NewRunner(cfg)
 	runner.Size = *size
 	runner.Iters = *iters
 	runner.Engine = sweep.Engine{Workers: *workers}
+	rp.Apply(runner)
 	if *cacheDir != "" {
 		runner.Cache = &sweep.TraceCache{Dir: *cacheDir, Warn: warn}
 		runner.Store = &replaystore.Store{Dir: *cacheDir, Warn: warn}
@@ -421,8 +467,8 @@ func runSweep(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "sweep: warning: cache not updated (next run will recompute): %v\n", err)
 	}
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits\n",
-		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits, st.ReplayStoreHits)
+	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows\n",
+		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits, st.ReplayStoreHits, st.BatchedReplays, st.ParallelWindows)
 
 	if err := sink.Close(); err != nil {
 		return err

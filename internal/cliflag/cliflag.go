@@ -22,6 +22,7 @@ type Machine struct {
 	overhead  string
 	eager     string
 	buses     int
+	links     int
 	mips      float64
 	perNode   int
 }
@@ -37,6 +38,7 @@ func RegisterMachine(fs *flag.FlagSet) *Machine {
 	fs.StringVar(&m.overhead, "overhead", def.CPUOverhead.String(), "per-message CPU overhead (e.g. 0s, 1us)")
 	fs.StringVar(&m.eager, "eager", def.EagerThreshold.String(), "eager threshold (messages above use rendezvous)")
 	fs.IntVar(&m.buses, "buses", def.Buses, "number of network buses (0 = unlimited)")
+	fs.IntVar(&m.links, "links", def.InLinks, "per-node in/out link limit (0 = unlimited; with -buses 0 the platform is contention-free)")
 	fs.Float64Var(&m.mips, "mips", float64(def.MIPS), "CPU speed in MIPS (0 = use the trace's rate)")
 	fs.IntVar(&m.perNode, "ranks-per-node", def.RanksPerNode, "ranks placed on each SMP node")
 	return m
@@ -86,6 +88,9 @@ func (m *Machine) Config() (machine.Config, error) {
 	}
 	if explicit["buses"] {
 		cfg.Buses = m.buses
+	}
+	if explicit["links"] {
+		cfg.InLinks, cfg.OutLinks = m.links, m.links
 	}
 	if explicit["mips"] {
 		cfg.MIPS = units.MIPS(m.mips)

@@ -117,3 +117,31 @@ func TestBadValuesSurface(t *testing.T) {
 		}
 	}
 }
+
+// TestLinksFlag: -links sets both per-node link limits; left alone, the
+// base platform's limits survive.
+func TestLinksFlag(t *testing.T) {
+	m, _ := parse(t, "-links", "0")
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.InLinks != 0 || cfg.OutLinks != 0 {
+		t.Errorf("-links 0: InLinks=%d OutLinks=%d, want 0/0", cfg.InLinks, cfg.OutLinks)
+	}
+	m, _ = parse(t, "-links", "3")
+	if cfg, err = m.Config(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.InLinks != 3 || cfg.OutLinks != 3 {
+		t.Errorf("-links 3: InLinks=%d OutLinks=%d, want 3/3", cfg.InLinks, cfg.OutLinks)
+	}
+	def, _ := parse(t)
+	dcfg, err := def.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcfg.InLinks != 1 || dcfg.OutLinks != 1 {
+		t.Errorf("default links changed: InLinks=%d OutLinks=%d", dcfg.InLinks, dcfg.OutLinks)
+	}
+}

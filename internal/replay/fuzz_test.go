@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"overlapsim/internal/machine"
@@ -14,6 +15,8 @@ import (
 // very large ones (the fuzzer makes no progress exploring size, only shape).
 func FuzzReplay(f *testing.F) {
 	f.Add([]byte("H 2 1000 \"a\" \"o\"\nT 0\nC 10\nS 1 0 64\nG barrier 0 0\nT 1\nC 20\nR 0 0 64\nG barrier 0 0\n"))
+	// Collective-free pairwise exchange: engages the parallel leg below.
+	f.Add([]byte("H 4 1000 \"par\" \"o\"\nT 0\nC 100\nS 1 0 64\nR 1 1 64\nT 1\nC 120\nR 0 0 64\nS 0 1 64\nT 2\nC 90\nS 3 2 64\nR 3 3 64\nT 3\nC 80\nR 2 2 64\nS 2 3 64\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ts, err := trace.Read(bytes.NewReader(data))
 		if err != nil {
@@ -47,6 +50,27 @@ func FuzzReplay(f *testing.F) {
 		if res.Total != res2.Total || res.Steps != res2.Steps {
 			t.Fatalf("replay nondeterministic: total %v/%v steps %d/%d",
 				res.Total, res2.Total, res.Steps, res2.Steps)
+		}
+		// The parallel engine must agree with sequential on any workload the
+		// fuzzer produces. Contention-free platform (its eligibility domain),
+		// threshold lowered so small fuzz inputs engage; traces it refuses
+		// (collectives) exercise the fallback, which must also agree.
+		pcfg := cfg
+		pcfg.Buses, pcfg.InLinks, pcfg.OutLinks = 0, 0, 0
+		seq, err := Simulate(ts, pcfg)
+		pr := NewReplayer()
+		pr.Parallel = 4
+		pr.ParThreshold = 2
+		par, perr := pr.Simulate(ts, pcfg)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("parallel/sequential disagree on failure: seq=%v par=%v", err, perr)
+		}
+		if err == nil {
+			par.Windows = 0
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("parallel result diverges: total %v/%v steps %d/%d",
+					par.Total, seq.Total, par.Steps, seq.Steps)
+			}
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"overlapsim/internal/timeline"
 	"overlapsim/internal/trace"
 	"overlapsim/internal/units"
+	"weak"
 )
 
 // NetworkStats aggregates what the network did during a replay.
@@ -54,6 +55,7 @@ type Result struct {
 	Ranks     []RankBreakdown
 	Network   NetworkStats
 	Steps     int64 // DES events executed
+	Windows   int64 // conservative-window rounds (0 when run sequentially)
 }
 
 // MaxBlockedFraction returns the largest per-rank blocked-time share, a
@@ -95,18 +97,44 @@ var replayerPool = sync.Pool{New: func() any { return NewReplayer() }}
 // arguments; internally it draws a pooled Replayer, so repeated calls do
 // not pay the scratch-allocation cost of a cold replayer.
 func Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) {
+	return SimulatePar(ts, cfg, 0)
+}
+
+// SimulatePar is Simulate with the conservative-window parallel engine
+// enabled at the given width (see Replayer.Parallel). The result is
+// identical to Simulate's; par <= 1 runs sequentially.
+func SimulatePar(ts *trace.Set, cfg machine.Config, par int) (*Result, error) {
 	r := replayerPool.Get().(*Replayer)
+	r.Parallel = par
 	res, err := r.Simulate(ts, cfg)
+	r.Parallel = 0
 	replayerPool.Put(r)
 	return res, err
 }
 
+// SimulateBatch runs one pooled warm Replayer over many platform configs
+// for the same trace set; see Replayer.SimulateBatch. par enables the
+// parallel engine per point, exactly as in SimulatePar.
+func SimulateBatch(ts *trace.Set, cfgs []machine.Config, out []Summary, par int) (int, error) {
+	r := replayerPool.Get().(*Replayer)
+	r.Parallel = par
+	n, err := r.SimulateBatch(ts, cfgs, out)
+	r.Parallel = 0
+	replayerPool.Put(r)
+	return n, err
+}
+
 // Event kinds of the replay model. A proc only ever receives evAdvance;
-// transfers receive the network-phase kinds.
+// transfers receive the network-phase kinds. The split delivery kinds
+// exist only under the parallel engine, where the sender's and receiver's
+// ranks may live on different shards: each side completes in its own
+// shard at the same simulated instant.
 const (
-	evAdvance  des.Kind = iota // proc: resume the rank's state machine
-	evDeliver                  // transfer: delivery completes
-	evWireDone                 // transfer: wire occupancy ends, resources free
+	evAdvance    des.Kind = iota // proc: resume the rank's state machine
+	evDeliver                    // transfer: delivery completes (both sides)
+	evWireDone                   // transfer: wire occupancy ends, resources free
+	evDeliverDst                 // transfer: receiver-side delivery (parallel)
+	evDeliverSrc                 // transfer: sender-side delivery (parallel)
 )
 
 // channelKey identifies a directed message channel for FIFO matching.
@@ -114,20 +142,36 @@ type channelKey struct {
 	src, dst, tag int
 }
 
-// chanQueue is a FIFO of unmatched transfer halves for one channel. Popped
-// slots are nilled (no retention) and the backing array is rewound whenever
-// the queue drains, so steady-state matching never allocates. The dirty
-// flag marks queues pushed to during the current run; reset clears only
-// those instead of walking every channel ever seen.
+// chanPair holds the two FIFOs of unmatched transfer halves for one
+// directed channel: sends awaiting a receive and receives awaiting a send
+// (at most one is non-empty). Keeping both under one map entry means each
+// post pays a single hash lookup. The dirty flag marks pairs pushed to
+// during the current run; reset clears only those instead of walking every
+// channel ever seen.
+type chanPair struct {
+	send, recv chanQueue
+	dirty      bool
+}
+
+// reset drops any leftover halves (an aborted run) and rewinds both queues.
+func (pr *chanPair) reset() {
+	pr.send.reset()
+	pr.recv.reset()
+	pr.dirty = false
+}
+
+// chanQueue is a FIFO of unmatched transfer halves for one direction of a
+// channel. Popped slots are nilled (no retention) and the backing array is
+// rewound whenever the queue drains, so steady-state matching never
+// allocates.
 type chanQueue struct {
 	items []*transfer
 	head  int
-	dirty bool
 }
 
 func (q *chanQueue) push(t *transfer) { q.items = append(q.items, t) }
 
-func (q *chanQueue) empty() bool { return q == nil || q.head == len(q.items) }
+func (q *chanQueue) empty() bool { return q.head == len(q.items) }
 
 func (q *chanQueue) pop() *transfer {
 	t := q.items[q.head]
@@ -145,7 +189,6 @@ func (q *chanQueue) reset() {
 	clear(q.items)
 	q.items = q.items[:0]
 	q.head = 0
-	q.dirty = false
 }
 
 // transfer is one point-to-point message moving through the network model.
@@ -162,11 +205,25 @@ type transfer struct {
 	eager         bool
 
 	sendPosted, recvPosted bool
-	started, delivered     bool
+	started                bool
+	// Delivery is tracked per side: the sender's rank reads deliveredSrc,
+	// the receiver's reads deliveredDst. Sequential replay sets both at the
+	// same instant (one flag split in two); the parallel engine sets each
+	// from its own shard's delivery event, so neither side reads state the
+	// other shard writes.
+	deliveredSrc, deliveredDst bool
 
-	refs    int     // live request-table references
-	sender  *proc   // blocked rendezvous sender, resumed at delivery
-	waiters []*proc // procs blocked on this transfer's delivery
+	// sendAt/recvAt record when each half was posted (the poster's local
+	// clock). The transfer's start time is sendAt for eager sends and
+	// max(sendAt, recvAt) for rendezvous — under the parallel engine the
+	// matching shard's own clock may lag the true start time, so it must
+	// be derived from these rather than from Now.
+	sendAt, recvAt units.Time
+
+	refs       int     // live request-table references (sequential only)
+	sender     *proc   // blocked rendezvous sender, resumed at delivery
+	waiters    []*proc // receiver-side procs blocked on delivery
+	srcWaiters []*proc // sender-side procs blocked on delivery (parallel)
 }
 
 // HandleEvent dispatches the transfer's typed events.
@@ -176,6 +233,12 @@ func (t *transfer) HandleEvent(k des.Kind) {
 		t.sim.deliver(t)
 	case evWireDone:
 		t.sim.wireDone(t)
+	case evDeliverDst:
+		par := t.sim.par
+		par.views[par.shardOf(t.dst)].deliverDst(t)
+	case evDeliverSrc:
+		par := t.sim.par
+		par.views[par.shardOf(t.src)].deliverSrc(t)
 	default:
 		t.sim.fail(fmt.Errorf("replay: transfer %d->%d received unknown event kind %d", t.src, t.dst, k))
 	}
@@ -199,34 +262,70 @@ type collSlot struct {
 // NewReplayer. A Replayer must not be used concurrently; the package-level
 // Simulate draws from an internal pool and is safe for concurrent use.
 type Replayer struct {
+	// Parallel enables the conservative-window parallel engine: ranks are
+	// partitioned across min(Parallel, nranks) shards that advance
+	// concurrently between barriers one lookahead apart. Results are
+	// identical to sequential replay. It engages only when the run is
+	// eligible (enough ranks, no collectives, a contention-free platform —
+	// see parallelPlan); ineligible runs silently fall back to sequential.
+	// 0 or 1 means sequential.
+	Parallel int
+	// ParThreshold overrides the rank count below which the parallel
+	// engine declines to engage (window synchronization would cost more
+	// than it saves). 0 means DefaultParThreshold.
+	ParThreshold int
+
 	eng  *des.Engine
 	cfg  machine.Config
 	mips units.MIPS
 
 	procs  []*proc // reusable rank machines; procs[:nprocs] are active
 	nprocs int
+	finish []units.Time // per-rank finish instants (struct-of-arrays)
+	done   []bool       // per-rank completion flags
 
-	sendQ, recvQ map[channelKey]*chanQueue
-	dirtyQ       []*chanQueue // queues pushed to this run; the reset worklist
-	pending      []*transfer  // protocol-ready transfers queued for resources
-	outUse       []int        // per-node output links in use
-	inUse        []int        // per-node input links in use
-	busUse       int
+	chans   map[channelKey]*chanPair
+	dirtyQ  []*chanPair // pairs pushed to this run; the reset worklist
+	pending []*transfer // protocol-ready transfers queued for resources
+	outUse  []int       // per-node output links in use
+	inUse   []int       // per-node input links in use
+	busUse  int
 
 	slots     map[int]*collSlot
 	freeT     []*transfer // transfer free list
 	freeSlots []*collSlot // collective slot free list
 
-	stats NetworkStats
-	err   error
+	stats    NetworkStats
+	err      error
+	ranSteps int64 // DES events executed by the last run (all shards)
+
+	// Parallel-engine state. On the root replayer par is nil and scratch
+	// holds the reusable shard machinery; each shard runs through a view —
+	// a Replayer clone whose par/shard are set, whose eng and stats are
+	// private, and whose matching maps alias the root's (guarded by
+	// scratch.mu).
+	par          *parState
+	shard        int
+	extraDeliver int64     // split deliveries scheduled by this shard
+	skippedWire  int64     // wire events elided by this shard (see startPar)
+	scratch      *parState // root only: reusable shard state
+
+	// Per-set memos, keyed by set identity: the collective scan feeding
+	// parallelPlan and the trace.Validate result. A warm replayer
+	// re-running the same set (a batch, a sweep's platform axis, a
+	// benchmark loop) skips both; the memos assume the caller does not
+	// mutate a set between replays. Weak pointers keep an idle pooled
+	// replayer from pinning the last trace set it ran (see dropRecs).
+	collScanned weak.Pointer[trace.Set]
+	collFound   bool
+	validated   weak.Pointer[trace.Set]
 }
 
 // NewReplayer returns a replayer with cold scratch state.
 func NewReplayer() *Replayer {
 	return &Replayer{
 		eng:   des.New(),
-		sendQ: map[channelKey]*chanQueue{},
-		recvQ: map[channelKey]*chanQueue{},
+		chans: map[channelKey]*chanPair{},
 		slots: map[int]*collSlot{},
 	}
 }
@@ -242,41 +341,21 @@ func (s *Replayer) Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := trace.Validate(ts); err != nil {
+	if err := s.validate(ts); err != nil {
 		return nil, err
 	}
-	if cfg.Capacity() < ts.NRanks() {
-		cfg = cfg.WithNodes(ts.NRanks())
-	}
-	mips := cfg.MIPS
-	if mips == 0 {
-		mips = ts.MIPS
-	}
-	s.reset(ts, cfg, mips)
 	// Results never reference the trace records, so drop them on the way
 	// out: an idle pooled replayer must not pin the last trace set it ran.
-	defer func() {
-		for _, p := range s.procs[:s.nprocs] {
-			p.recs = nil
-		}
-	}()
-
-	for _, p := range s.procs[:s.nprocs] {
-		s.eng.ScheduleEvent(0, p, evAdvance)
-	}
-	if err := s.eng.Run(); err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
-	}
-	if s.err != nil {
-		return nil, s.err
-	}
-	if err := s.checkAllFinished(); err != nil {
+	defer s.dropRecs()
+	windows, err := s.runPrepared(ts, cfg)
+	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{
 		Network: s.stats,
-		Steps:   s.eng.Steps(),
+		Steps:   s.ranSteps,
+		Windows: windows,
 		Ranks:   make([]RankBreakdown, 0, s.nprocs),
 	}
 	tset := &timeline.Set{
@@ -285,13 +364,14 @@ func (s *Replayer) Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) 
 		Lines:   make([]timeline.Timeline, 0, s.nprocs),
 	}
 	for _, p := range s.procs[:s.nprocs] {
-		line := p.tl.Finish(p.finish)
-		if p.finish > res.Total {
-			res.Total = p.finish
+		finish := s.finish[p.rank]
+		line := p.tl.Finish(finish)
+		if finish > res.Total {
+			res.Total = finish
 		}
 		res.Ranks = append(res.Ranks, RankBreakdown{
 			Rank:       p.rank,
-			Finish:     p.finish,
+			Finish:     finish,
 			Compute:    line.TimeIn(timeline.Compute),
 			Overhead:   line.TimeIn(timeline.Overhead),
 			Send:       line.TimeIn(timeline.SendBlocked),
@@ -309,6 +389,67 @@ func (s *Replayer) Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) 
 	return res, nil
 }
 
+// runPrepared sizes the platform, resets the scratch state and executes
+// the event loop — sequential or conservative-window parallel, whichever
+// parallelPlan selects — leaving per-rank finish state, stats and step
+// counts in place for the caller to assemble. The trace and config must
+// already be validated. It returns the number of window rounds (0 when
+// sequential).
+func (s *Replayer) runPrepared(ts *trace.Set, cfg machine.Config) (int64, error) {
+	if cfg.Capacity() < ts.NRanks() {
+		cfg = cfg.WithNodes(ts.NRanks())
+	}
+	mips := cfg.MIPS
+	if mips == 0 {
+		mips = ts.MIPS
+	}
+	s.reset(ts, cfg, mips)
+	var windows int64
+	if shards, lookahead, ok := s.parallelPlan(ts); ok {
+		w, err := s.runParallel(shards, lookahead)
+		if err != nil {
+			return 0, err
+		}
+		windows = w
+	} else {
+		for _, p := range s.procs[:s.nprocs] {
+			s.eng.ScheduleEvent(0, p, evAdvance)
+		}
+		if err := s.eng.Run(); err != nil {
+			return 0, fmt.Errorf("replay: %w", err)
+		}
+		s.ranSteps = s.eng.Steps()
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	if err := s.checkAllFinished(); err != nil {
+		return 0, err
+	}
+	return windows, nil
+}
+
+// dropRecs detaches the procs from the trace records so an idle pooled
+// replayer does not pin the last trace set it ran.
+func (s *Replayer) dropRecs() {
+	for _, p := range s.procs[:s.nprocs] {
+		p.recs = nil
+	}
+}
+
+// validate runs trace.Validate once per set identity: a warm replayer
+// re-running the same set pays nothing.
+func (s *Replayer) validate(ts *trace.Set) error {
+	if s.validated.Value() == ts {
+		return nil
+	}
+	if err := trace.Validate(ts); err != nil {
+		return err
+	}
+	s.validated = weak.Make(ts)
+	return nil
+}
+
 // reset prepares the replayer for one run, recycling all scratch state. A
 // preceding run that aborted mid-flight (deadlock, model error) may have
 // left events, unmatched halves or collective slots behind; everything is
@@ -323,8 +464,8 @@ func (s *Replayer) reset(ts *trace.Set, cfg machine.Config, mips units.MIPS) {
 	s.busUse = 0
 	s.outUse = resizeZeroed(s.outUse, cfg.Nodes)
 	s.inUse = resizeZeroed(s.inUse, cfg.Nodes)
-	for _, q := range s.dirtyQ {
-		q.reset()
+	for _, pr := range s.dirtyQ {
+		pr.reset()
 	}
 	clear(s.dirtyQ)
 	s.dirtyQ = s.dirtyQ[:0]
@@ -341,6 +482,8 @@ func (s *Replayer) reset(ts *trace.Set, cfg machine.Config, mips units.MIPS) {
 		})
 	}
 	s.nprocs = n
+	s.finish = resizeZeroedTime(s.finish, n)
+	s.done = resizeZeroedBool(s.done, n)
 	for i, p := range s.procs[:n] {
 		p.rank = i
 		p.recs = ts.Traces[i].Records
@@ -349,8 +492,6 @@ func (s *Replayer) reset(ts *trace.Set, cfg machine.Config, mips units.MIPS) {
 		p.tl.Reset(i)
 		p.collIdx = 0
 		p.overheadPaid = false
-		p.finished = false
-		p.finish = 0
 	}
 }
 
@@ -365,30 +506,65 @@ func resizeZeroed(s []int, n int) []int {
 	return s
 }
 
-// newTransfer draws a zeroed transfer from the free list.
-func (s *Replayer) newTransfer(src, dst, tag int) *transfer {
-	if n := len(s.freeT); n > 0 {
-		t := s.freeT[n-1]
-		s.freeT[n-1] = nil
-		s.freeT = s.freeT[:n-1]
-		t.src, t.dst, t.tag = src, dst, tag
-		return t
+func resizeZeroedTime(s []units.Time, n int) []units.Time {
+	if cap(s) < n {
+		return make([]units.Time, n)
 	}
-	return &transfer{sim: s, src: src, dst: dst, tag: tag}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
-// releaseTransfer zeroes the transfer (keeping its waiters capacity) and
+func resizeZeroedBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// newTransfer draws a zeroed transfer from the free list. Under the
+// parallel engine the free list belongs to the root (callers hold the
+// matching lock) and every instance handed out is tracked so the run can
+// recycle them all at the end — mid-run recycling is disabled there.
+func (s *Replayer) newTransfer(src, dst, tag int) *transfer {
+	owner := s
+	if s.par != nil {
+		owner = s.par.root
+	}
+	var t *transfer
+	if n := len(owner.freeT); n > 0 {
+		t = owner.freeT[n-1]
+		owner.freeT[n-1] = nil
+		owner.freeT = owner.freeT[:n-1]
+		t.src, t.dst, t.tag = src, dst, tag
+	} else {
+		t = &transfer{sim: s, src: src, dst: dst, tag: tag}
+	}
+	if s.par != nil {
+		s.par.live = append(s.par.live, t)
+	}
+	return t
+}
+
+// releaseTransfer zeroes the transfer (keeping its waiter capacity) and
 // returns it to the free list.
 func (s *Replayer) releaseTransfer(t *transfer) {
-	*t = transfer{sim: s, waiters: t.waiters[:0]}
+	*t = transfer{sim: s, waiters: t.waiters[:0], srcWaiters: t.srcWaiters[:0]}
 	s.freeT = append(s.freeT, t)
 }
 
 // maybeRelease recycles a transfer once nothing can reference it again:
 // delivered, matched on both sides (so it sits in no channel queue), no
-// live request-table references, and nobody blocked on it.
+// live request-table references, and nobody blocked on it. The parallel
+// engine never recycles mid-run (reference counts would race across
+// shards); runParallel sweeps everything back afterwards instead.
 func (s *Replayer) maybeRelease(t *transfer) {
-	if t.delivered && t.sendPosted && t.recvPosted && t.refs == 0 && t.sender == nil && len(t.waiters) == 0 {
+	if s.par != nil {
+		return
+	}
+	if t.deliveredSrc && t.deliveredDst && t.sendPosted && t.recvPosted && t.refs == 0 && t.sender == nil && len(t.waiters) == 0 {
 		s.releaseTransfer(t)
 	}
 }
@@ -403,7 +579,7 @@ func (s *Replayer) fail(err error) {
 func (s *Replayer) checkAllFinished() error {
 	var stuck []string
 	for _, p := range s.procs[:s.nprocs] {
-		if !p.finished {
+		if !s.done[p.rank] {
 			desc := "at end of trace"
 			if p.pc < len(p.recs) {
 				desc = fmt.Sprintf("record %d (%s)", p.pc, p.recs[p.pc])
@@ -426,7 +602,10 @@ func (s *Replayer) checkAllFinished() error {
 	return fmt.Errorf("replay: deadlock: %s", msg)
 }
 
-// proc is one rank's replay state machine.
+// proc is one rank's replay state machine. Completion state lives in the
+// replayer's finish/done arrays (struct-of-arrays: the batch and parallel
+// paths scan those without touching the procs). Under the parallel engine
+// sim points at the shard view owning this rank for the duration of a run.
 type proc struct {
 	rank         int
 	recs         []trace.Record
@@ -436,8 +615,6 @@ type proc struct {
 	sim          *Replayer
 	collIdx      int
 	overheadPaid bool // the CPU overhead of recs[pc] has been charged
-	finished     bool
-	finish       units.Time
 }
 
 // HandleEvent resumes the rank's state machine; a proc's only event kind is
@@ -466,7 +643,7 @@ func (p *proc) payOverhead() bool {
 func (p *proc) advance() {
 	s := p.sim
 	for p.pc < len(p.recs) {
-		rec := p.recs[p.pc]
+		rec := &p.recs[p.pc]
 		switch rec.Kind {
 		case trace.KindBurst:
 			p.pc++
@@ -489,7 +666,9 @@ func (p *proc) advance() {
 			p.pc++
 			t := s.postSend(p.rank, rec)
 			p.reqs[rec.Req] = t
-			t.refs++
+			if s.par == nil {
+				t.refs++ // recycling is off under the parallel engine
+			}
 
 		case trace.KindSend:
 			if p.payOverhead() {
@@ -497,7 +676,7 @@ func (p *proc) advance() {
 			}
 			p.pc++
 			t := s.postSend(p.rank, rec)
-			if !t.eager && !t.delivered {
+			if !t.eager && !t.deliveredSrc {
 				t.sender = p
 				p.tl.Enter(s.eng.Now(), timeline.SendBlocked)
 				return
@@ -510,7 +689,9 @@ func (p *proc) advance() {
 			p.pc++
 			t := s.postRecv(p.rank, rec)
 			p.reqs[rec.Req] = t
-			t.refs++
+			if s.par == nil {
+				t.refs++
+			}
 
 		case trace.KindRecv:
 			if p.payOverhead() {
@@ -518,7 +699,7 @@ func (p *proc) advance() {
 			}
 			p.pc++
 			t := s.postRecv(p.rank, rec)
-			if !t.delivered {
+			if !t.deliveredDst {
 				t.waiters = append(t.waiters, p)
 				p.tl.Enter(s.eng.Now(), timeline.RecvBlocked)
 				return
@@ -535,19 +716,42 @@ func (p *proc) advance() {
 			// The trace validator guarantees each request is waited at most
 			// once, so the table entry can be consumed here.
 			delete(p.reqs, rec.Req)
-			t.refs--
-			if !t.delivered {
-				t.waiters = append(t.waiters, p)
+			if s.par == nil {
+				t.refs--
+			}
+			// A Wait may sit on either side of the transfer: on an ISend
+			// request this proc is the sender, on an IRecv the receiver.
+			// Each side blocks on its own delivery flag and waiter list so
+			// shards never touch each other's.
+			onSrc := p.rank == t.src && p.rank != t.dst
+			var delivered bool
+			if onSrc {
+				delivered = t.deliveredSrc
+			} else {
+				delivered = t.deliveredDst // never read from the src shard
+			}
+			if !delivered {
+				if s.par != nil && onSrc {
+					t.srcWaiters = append(t.srcWaiters, p)
+				} else {
+					t.waiters = append(t.waiters, p)
+				}
 				p.tl.Enter(s.eng.Now(), timeline.WaitBlocked)
 				return
 			}
 			s.maybeRelease(t)
 
 		case trace.KindCollective:
+			if s.par != nil {
+				// parallelPlan refuses traces with collectives; reaching
+				// one here means the eligibility scan is broken.
+				s.fail(fmt.Errorf("replay: internal: collective reached the parallel engine"))
+				return
+			}
 			p.pc++
 			slot, ok := s.slots[p.collIdx]
 			if !ok {
-				slot = s.newSlot(p.collIdx, rec)
+				slot = s.newSlot(p.collIdx, *rec)
 				s.slots[p.collIdx] = slot
 			}
 			p.collIdx++
@@ -564,8 +768,8 @@ func (p *proc) advance() {
 			return
 		}
 	}
-	p.finished = true
-	p.finish = s.eng.Now()
+	s.done[p.rank] = true
+	s.finish[p.rank] = s.eng.Now()
 }
 
 // newSlot draws a collective slot from the free list.
@@ -593,59 +797,120 @@ func (s *Replayer) releaseCollective(slot *collSlot) {
 	s.freeSlots = append(s.freeSlots, slot)
 }
 
-// enqueue appends the transfer to the channel's queue, creating the queue
-// on first use (queues persist across runs; a replayer reused on the same
-// workload never re-creates them) and marking it for the next reset.
-func (s *Replayer) enqueue(m map[channelKey]*chanQueue, key channelKey, t *transfer) {
-	q := m[key]
-	if q == nil {
-		q = &chanQueue{}
-		m[key] = q
+// pair finds or creates the matching-state entry for one directed channel.
+// Pairs persist across runs (a replayer reused on the same workload never
+// re-creates them).
+func (s *Replayer) pair(key channelKey) *chanPair {
+	pr := s.chans[key]
+	if pr == nil {
+		pr = &chanPair{}
+		s.chans[key] = pr
 	}
-	if !q.dirty {
-		q.dirty = true
-		s.dirtyQ = append(s.dirtyQ, q)
+	return pr
+}
+
+// enqueue appends the transfer to one of the pair's queues, marking the
+// pair for the next reset. The reset worklist always lives on the root
+// replayer: shard views share one set of matching maps.
+func (s *Replayer) enqueue(pr *chanPair, q *chanQueue, t *transfer) {
+	if !pr.dirty {
+		pr.dirty = true
+		owner := s
+		if s.par != nil {
+			owner = s.par.root
+		}
+		owner.dirtyQ = append(owner.dirtyQ, pr)
 	}
 	q.push(t)
 }
 
-// postSend matches or enqueues the sender half of a transfer.
-func (s *Replayer) postSend(src int, rec trace.Record) *transfer {
+// claimStart is the parallel engine's start gate, called with the matching
+// lock held: the shard whose post completes the protocol claims the right
+// to route the transfer into the network, so exactly one shard calls
+// startPar — after releasing the lock (the routing only touches the
+// claiming shard's engine and the window inboxes, which have their own
+// synchronization).
+func (s *Replayer) claimStart(t *transfer) bool {
+	if t.started || !t.sendPosted || (!t.eager && !t.recvPosted) {
+		return false
+	}
+	t.started = true
+	t.sim = s // wire/delivery events for t route through the claiming shard
+	return true
+}
+
+// postSend matches or enqueues the sender half of a transfer. Matching
+// state is shared across shards under the parallel engine; one lock
+// serializes both post paths (FIFO pairing stays deterministic because a
+// directed channel's sends all come from one rank and its receives from
+// one rank, each replayed in program order).
+func (s *Replayer) postSend(src int, rec *trace.Record) *transfer {
+	par := s.par != nil
+	if par {
+		s.par.lock()
+	}
 	key := channelKey{src, rec.Peer, rec.Tag}
+	pr := s.pair(key)
 	var t *transfer
-	if q := s.recvQ[key]; !q.empty() {
+	if q := &pr.recv; !q.empty() {
 		t = q.pop()
 	} else {
 		t = s.newTransfer(src, rec.Peer, rec.Tag)
-		s.enqueue(s.sendQ, key, t)
+		s.enqueue(pr, &pr.send, t)
 	}
 	t.sendPosted = true
+	t.sendAt = s.eng.Now()
 	t.size = rec.Size
 	t.local = s.cfg.SameNode(src, rec.Peer)
 	t.eager = s.cfg.Eager(rec.Size)
+	if par {
+		start := s.claimStart(t)
+		s.par.unlock()
+		if start {
+			s.startPar(t)
+		}
+		return t
+	}
 	s.maybeStart(t)
 	return t
 }
 
 // postRecv matches or enqueues the receiver half of a transfer.
-func (s *Replayer) postRecv(dst int, rec trace.Record) *transfer {
+func (s *Replayer) postRecv(dst int, rec *trace.Record) *transfer {
+	par := s.par != nil
+	if par {
+		s.par.lock()
+	}
 	key := channelKey{rec.Peer, dst, rec.Tag}
+	pr := s.pair(key)
 	var t *transfer
-	if q := s.sendQ[key]; !q.empty() {
+	if q := &pr.send; !q.empty() {
 		t = q.pop()
 	} else {
 		t = s.newTransfer(rec.Peer, dst, rec.Tag)
 		t.size = rec.Size
-		s.enqueue(s.recvQ, key, t)
+		s.enqueue(pr, &pr.recv, t)
 	}
 	t.recvPosted = true
+	t.recvAt = s.eng.Now()
+	if par {
+		start := s.claimStart(t)
+		s.par.unlock()
+		if start {
+			s.startPar(t)
+		}
+		return t
+	}
 	s.maybeStart(t)
 	return t
 }
 
 // maybeStart checks protocol readiness and routes the transfer into the
 // network: local transfers bypass resources; remote ones queue for links
-// and a bus.
+// and a bus. Sequential engine only — the parallel engine gates starts
+// through claimStart/startPar, which derive delivery from the recorded
+// post instants because the matching shard's clock may lag the transfer's
+// true start time.
 func (s *Replayer) maybeStart(t *transfer) {
 	if t.started {
 		return
@@ -712,7 +977,10 @@ func (s *Replayer) startRemote(t *transfer) {
 }
 
 // wireDone releases the transfer's resources, schedules the delivery one
-// latency later, and hands the freed resources to waiting transfers.
+// latency later, and hands the freed resources to waiting transfers. Only
+// the sequential engine schedules wire events; the parallel engine holds
+// no resources (it requires a contention-free platform) and folds the
+// wire time into the delivery instant directly (see startPar).
 func (s *Replayer) wireDone(t *transfer) {
 	srcNode, dstNode := s.cfg.NodeOf(t.src), s.cfg.NodeOf(t.dst)
 	s.outUse[srcNode]--
@@ -723,8 +991,10 @@ func (s *Replayer) wireDone(t *transfer) {
 }
 
 // deliver completes the transfer and resumes everything blocked on it.
+// Sequential replay and the parallel same-shard case both come through
+// here; srcWaiters is only ever populated under the parallel engine.
 func (s *Replayer) deliver(t *transfer) {
-	t.delivered = true
+	t.deliveredSrc, t.deliveredDst = true, true
 	s.stats.Transfers++
 	s.stats.Bytes += t.size
 	if t.local {
@@ -735,6 +1005,10 @@ func (s *Replayer) deliver(t *transfer) {
 		t.sender = nil
 		p.advance()
 	}
+	for _, p := range t.srcWaiters {
+		p.advance()
+	}
+	t.srcWaiters = t.srcWaiters[:0]
 	for _, p := range t.waiters {
 		p.advance()
 	}

@@ -88,6 +88,8 @@ type WorkJSON struct {
 	Replays         int64 `json:"replays"`
 	ReplayMemoHits  int64 `json:"replay_memo_hits"`
 	ReplayStoreHits int64 `json:"replay_store_hits"`
+	BatchedReplays  int64 `json:"batched_replays"`
+	ParallelWindows int64 `json:"parallel_windows"`
 }
 
 func workJSON(c sweep.Counters) WorkJSON {
@@ -97,6 +99,8 @@ func workJSON(c sweep.Counters) WorkJSON {
 		Replays:         c.Replays,
 		ReplayMemoHits:  c.ReplayMemoHits,
 		ReplayStoreHits: c.ReplayStoreHits,
+		BatchedReplays:  c.BatchedReplays,
+		ParallelWindows: c.ParallelWindows,
 	}
 }
 

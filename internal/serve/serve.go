@@ -38,6 +38,13 @@ type Config struct {
 	MaxQueued int
 	// SweepWorkers is each job's engine pool size (0 = one per CPU).
 	SweepWorkers int
+	// ReplayPar, when >= 2, runs each job's eligible replays on the
+	// conservative-window parallel engine at that width. Results are
+	// identical for any value.
+	ReplayPar int
+	// DisableBatch turns off batched warm-replayer execution for
+	// platform-axis grids.
+	DisableBatch bool
 	// MaxPoints, when positive, rejects grids that expand to more points
 	// with 413 — an admission guard against a single request that would
 	// monopolize the service for hours.
@@ -179,6 +186,8 @@ func (s *Server) noteFinished(jb *job) {
 		s.work.Replays += st.Work.Replays
 		s.work.ReplayMemoHits += st.Work.ReplayMemoHits
 		s.work.ReplayStoreHits += st.Work.ReplayStoreHits
+		s.work.BatchedReplays += st.Work.BatchedReplays
+		s.work.ParallelWindows += st.Work.ParallelWindows
 	}
 }
 
@@ -307,6 +316,8 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 	runner := sweep.NewRunner(s.cfg.Base)
 	runner.Size = jb.size
 	runner.Iters = jb.iters
+	runner.ReplayPar = s.cfg.ReplayPar
+	runner.DisableBatch = s.cfg.DisableBatch
 	runner.Engine = sweep.Engine{
 		Workers:  s.cfg.SweepWorkers,
 		Progress: func(done, total int) { jb.completed.Store(int64(done)) },

@@ -549,3 +549,53 @@ func TestServeCancelAll(t *testing.T) {
 		}
 	}
 }
+
+// TestServeBatchedParallelCounters: a daemon configured with ReplayPar on a
+// contention-free base reports the batched-replay and parallel-window work
+// both per job and in the /stats aggregate.
+func TestServeBatchedParallelCounters(t *testing.T) {
+	base := machine.Default()
+	base.InLinks, base.OutLinks = 0, 0
+	s := New(Config{Base: base, CacheDir: t.TempDir(), ReplayPar: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"apps":["ring"],"ranks":[16],"buses":[0],"latencies":["5us","20us","50us"],"iters":2,"format":"csv"}`
+	resp := postSweep(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.Status)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Trailer.Get("X-Overlapsim-Status"); got != "ok" {
+		t.Fatalf("status trailer %q, want ok", got)
+	}
+
+	st := getStatus(t, ts.URL, "job-1")
+	if st.State != JobDone || st.Work == nil {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Work.BatchedReplays == 0 {
+		t.Errorf("platform-axis job reported no batched replays: %+v", *st.Work)
+	}
+	if st.Work.ParallelWindows == 0 {
+		t.Errorf("ReplayPar daemon reported no parallel windows: %+v", *st.Work)
+	}
+
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var stats StatsJSON
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Work.BatchedReplays != st.Work.BatchedReplays ||
+		stats.Work.ParallelWindows != st.Work.ParallelWindows {
+		t.Errorf("/stats does not aggregate the new counters: stats %+v, job %+v",
+			stats.Work, *st.Work)
+	}
+}

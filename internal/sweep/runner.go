@@ -39,6 +39,16 @@ type Runner struct {
 	// must not discard a trace that just succeeded. The first failed write
 	// is reported by CacheStoreErr.
 	Cache *TraceCache
+	// ReplayPar, when >= 2, enables the conservative-window parallel replay
+	// engine: each eligible replay is sharded across up to ReplayPar private
+	// event queues (see replay.Replayer.Parallel). Results are identical to
+	// sequential replay; ineligible points fall back automatically.
+	ReplayPar int
+	// DisableBatch turns off batched warm-replayer execution. By default a
+	// grid that varies only platform axes for a workload routes all its
+	// missing replays through one warm Replayer (replay.SimulateBatch)
+	// before the workers start, skipping per-point setup.
+	DisableBatch bool
 	// Store, when non-nil, persists replay results on disk (normally next
 	// to the trace cache), so a warm re-run of an identical sweep — or a
 	// sibling shard replaying the same (workload, variant, platform) —
@@ -57,6 +67,8 @@ type Runner struct {
 	ctReplays   atomic.Int64
 	ctMemoHits  atomic.Int64
 	ctStoreHits atomic.Int64
+	ctBatched   atomic.Int64
+	ctWindows   atomic.Int64
 }
 
 // Counters is a snapshot of the runner's work and cache-hit accounting —
@@ -74,6 +86,12 @@ type Counters struct {
 	// work a previous process already paid for. A warm re-run of an
 	// identical sweep shows Traces == 0 and Replays == 0 here.
 	ReplayStoreHits int64
+	// BatchedReplays counts the subset of Replays executed through the
+	// batched warm-replayer path (one warm Replayer over a platform axis).
+	BatchedReplays int64
+	// ParallelWindows counts conservative-window rounds executed by the
+	// parallel replay engine; 0 means every replay ran sequentially.
+	ParallelWindows int64
 }
 
 // Add returns the fieldwise sum of two counter snapshots — used to fold
@@ -85,6 +103,8 @@ func (c Counters) Add(o Counters) Counters {
 		Replays:         c.Replays + o.Replays,
 		ReplayMemoHits:  c.ReplayMemoHits + o.ReplayMemoHits,
 		ReplayStoreHits: c.ReplayStoreHits + o.ReplayStoreHits,
+		BatchedReplays:  c.BatchedReplays + o.BatchedReplays,
+		ParallelWindows: c.ParallelWindows + o.ParallelWindows,
 	}
 }
 
@@ -97,6 +117,8 @@ func (c Counters) Sub(o Counters) Counters {
 		Replays:         c.Replays - o.Replays,
 		ReplayMemoHits:  c.ReplayMemoHits - o.ReplayMemoHits,
 		ReplayStoreHits: c.ReplayStoreHits - o.ReplayStoreHits,
+		BatchedReplays:  c.BatchedReplays - o.BatchedReplays,
+		ParallelWindows: c.ParallelWindows - o.ParallelWindows,
 	}
 }
 
@@ -108,6 +130,8 @@ func (r *Runner) Stats() Counters {
 		Replays:         r.ctReplays.Load(),
 		ReplayMemoHits:  r.ctMemoHits.Load(),
 		ReplayStoreHits: r.ctStoreHits.Load(),
+		BatchedReplays:  r.ctBatched.Load(),
+		ParallelWindows: r.ctWindows.Load(),
 	}
 }
 
@@ -219,6 +243,12 @@ type memoEntry struct {
 	steps   int64
 	blocked float64
 	err     error
+	// prefilled marks an entry the batch path computed before any point
+	// asked for it. The first lookup consumes the mark without counting a
+	// memo hit: that lookup is the point's own replay, already counted as
+	// a (batched) replay — so the hit accounting matches the unbatched run
+	// exactly.
+	prefilled bool
 }
 
 // replayMemo memoizes replay.Simulate per (workload, variant, platform).
@@ -244,6 +274,10 @@ func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error)
 		e = &memoEntry{}
 		r.memos[key] = e
 	}
+	if hit && e.prefilled {
+		e.prefilled = false
+		hit = false
+	}
 	r.mu.Unlock()
 	if hit {
 		r.ctMemoHits.Add(1)
@@ -261,11 +295,12 @@ func (r *Runner) replayMemo(ts *trace.Set, m machine.Config) (*memoEntry, error)
 			}
 		}
 		r.ctReplays.Add(1)
-		res, err := replay.Simulate(ts, m)
+		res, err := replay.SimulatePar(ts, m, r.ReplayPar)
 		if err != nil {
 			e.err = err
 			return
 		}
+		r.ctWindows.Add(res.Windows)
 		e.total = res.Total
 		e.steps = res.Steps
 		e.blocked = res.MeanBlockedFraction()
@@ -376,6 +411,7 @@ func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index i
 		return nil, err
 	}
 	pts := g.Expand()
+	r.prefillBatches(pts)
 	return StreamContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
 	}, emit)
@@ -400,6 +436,7 @@ func (r *Runner) RunSinkContext(ctx context.Context, g Grid, sink Sink) error {
 		return err
 	}
 	pts := g.Expand()
+	r.prefillBatches(pts)
 	return EachContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
 		return r.RunPoint(pts[i])
 	}, func(i int, res Result) error { return sink.Accept(i, res) })
@@ -414,6 +451,7 @@ func (r *Runner) RunIndicesSinkContext(ctx context.Context, g Grid, indices []in
 	if err != nil {
 		return err
 	}
+	r.prefillIndices(pts, indices)
 	return EachContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
 		return r.RunPoint(pts[indices[j]])
 	}, func(j int, res Result) error { return sink.Accept(indices[j], res) })
@@ -459,6 +497,7 @@ func (r *Runner) RunIndicesStreamContext(ctx context.Context, g Grid, indices []
 	if err != nil {
 		return nil, err
 	}
+	r.prefillIndices(pts, indices)
 	var emitGrid func(j int, res Result) error
 	if emit != nil {
 		emitGrid = func(j int, res Result) error { return emit(indices[j], res) }

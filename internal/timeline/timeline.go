@@ -204,6 +204,22 @@ func (b *Builder) close(now units.Time) {
 	b.open = false
 }
 
+// StateDurations sums the time spent in each state as if the timeline were
+// closed at now, without snapshotting it: the per-state totals equal
+// TimeIn on the Timeline that Finish(now) would return, but nothing is
+// allocated and the builder keeps recording. The batch replay path uses
+// this to summarize a point without materializing per-rank timelines.
+func (b *Builder) StateDurations(now units.Time) [NumStates]units.Duration {
+	var d [NumStates]units.Duration
+	for _, iv := range b.line.Intervals {
+		d[iv.State] += iv.Duration()
+	}
+	if b.open && now > b.start {
+		d[b.state] += now.Sub(b.start)
+	}
+	return d
+}
+
 // Finish closes the timeline at the given instant and returns it. The
 // returned Timeline owns its interval and event slices — it stays valid
 // after the builder is Reset and reused.

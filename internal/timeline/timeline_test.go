@@ -130,6 +130,49 @@ func TestSetValidate(t *testing.T) {
 	}
 }
 
+func TestStateDurationsMatchesFinish(t *testing.T) {
+	// StateDurations(now) must report exactly what Finish(now).TimeIn would,
+	// for random transition sequences, including the still-open interval.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(0)
+		now := units.Time(0)
+		b.Enter(0, Compute)
+		for i := 0; i < 40; i++ {
+			now = now.Add(units.Duration(rng.Intn(20)))
+			b.Enter(now, State(rng.Intn(NumStates)))
+		}
+		now = now.Add(units.Duration(rng.Intn(20)))
+		got := b.StateDurations(now)
+		line := b.Finish(now)
+		for s := State(0); int(s) < NumStates; s++ {
+			if got[s] != line.TimeIn(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateDurationsDoesNotDisturbBuilder(t *testing.T) {
+	b := NewBuilder(0)
+	b.Enter(0, Compute)
+	b.Enter(10, RecvBlocked)
+	d := b.StateDurations(25)
+	if d[Compute] != 10 || d[RecvBlocked] != 15 {
+		t.Errorf("StateDurations = %v", d)
+	}
+	// The builder keeps recording: the open recv interval extends past the
+	// summary instant.
+	line := b.Finish(40)
+	if got := line.TimeIn(RecvBlocked); got != 30 {
+		t.Errorf("TimeIn(RecvBlocked) after summary = %v, want 30", got)
+	}
+}
+
 func TestPropertyBuilderAlwaysValid(t *testing.T) {
 	// Any monotone sequence of Enter calls yields a valid timeline whose
 	// intervals exactly tile [first, finish) with no gaps.
