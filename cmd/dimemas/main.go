@@ -63,7 +63,7 @@ func run(args []string) error {
 	fmt.Printf("runtime:  %v   (DES events: %d)\n\n", units.Duration(res.Total), res.Steps)
 
 	tb := stats.NewTable("rank", "finish", "compute", "send", "recv", "wait", "coll", "ovhd")
-	for _, r := range res.Ranks {
+	for _, r := range res.Ranks() {
 		tb.AddRow(fmt.Sprint(r.Rank), units.Duration(r.Finish).String(),
 			r.Compute.String(), r.Send.String(), r.Recv.String(),
 			r.Wait.String(), r.Collective.String(), r.Overhead.String())

@@ -59,12 +59,13 @@ func parseSweepSpec(spec []string) (sweep.Grid, machine.Config, int, int, error)
 // campaignRunner builds a fresh runner over the shared cache directory.
 // Each worker gets its own runner so per-chunk work accounting stays
 // attributable; the disk-level caches still share everything.
-func campaignRunner(cfg machine.Config, size, iters, pool int, cacheDir string, rp *cliflag.Replay, warn func(string)) *sweep.Runner {
+func campaignRunner(cfg machine.Config, size, iters, pool int, cacheDir string, rp *cliflag.Replay, ap *cliflag.Approx, warn func(string)) *sweep.Runner {
 	r := sweep.NewRunner(cfg)
 	r.Size = size
 	r.Iters = iters
 	r.Engine = sweep.Engine{Workers: pool}
 	rp.Apply(r)
+	ap.Apply(r)
 	if cacheDir != "" {
 		r.Cache = &sweep.TraceCache{Dir: cacheDir, Warn: warn}
 		r.Store = &replaystore.Store{Dir: cacheDir, Warn: warn}
@@ -102,7 +103,11 @@ func runCampaign(args []string, stdout io.Writer) error {
 	chaosMode := fs.String("chaos-mode", "crash", "fault to inject in spawned workers: crash, stall, drop or mix")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection schedule (worker i gets seed+i)")
 	rp := cliflag.RegisterReplay(fs)
+	ap := cliflag.RegisterApprox(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := ap.Validate(); err != nil {
 		return err
 	}
 	// Everything after `--` is the sweep spec; the flag package stops
@@ -206,7 +211,7 @@ func runCampaign(args []string, stdout io.Writer) error {
 				w := &campaign.Worker{
 					Board:     &campaign.LocalBoard{C: coord, Worker: id},
 					ID:        id,
-					Runner:    campaignRunner(base, size, iters, *workerPool, *cacheDir, rp, warn),
+					Runner:    campaignRunner(base, size, iters, *workerPool, *cacheDir, rp, ap, warn),
 					Grid:      grid,
 					Signature: sig,
 					Total:     total,
@@ -230,7 +235,7 @@ func runCampaign(args []string, stdout io.Writer) error {
 					if done() || ctx.Err() != nil {
 						return
 					}
-					cmd := exec.CommandContext(ctx, os.Args[0], spawnArgs(i, baseURL, *cacheDir, *workerPool, rp, *chaosRate, *chaosMode, *chaosSeed)...)
+					cmd := exec.CommandContext(ctx, os.Args[0], spawnArgs(i, baseURL, *cacheDir, *workerPool, rp, ap, *chaosRate, *chaosMode, *chaosSeed)...)
 					cmd.Stdout = os.Stderr
 					cmd.Stderr = os.Stderr
 					err := cmd.Run()
@@ -275,11 +280,13 @@ func runCampaign(args []string, stdout io.Writer) error {
 	ct := coord.Counters()
 	logf("chunks: %d total, %d done (%d adopted), %d leases, %d expired, %d failures, %d stale completions, %d duplicates, %d quarantined",
 		ct.Chunks, ct.Done, ct.Adopted, ct.Leases, ct.Expired, ct.Failures, ct.StaleCompletions, ct.Duplicates, ct.Quarantined)
-	fmt.Fprintf(os.Stderr, "campaign: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows\n",
-		ct.Work.Traces, ct.Work.TraceCacheHits, ct.Work.Replays, ct.Work.ReplayMemoHits, ct.Work.ReplayStoreHits, ct.Work.BatchedReplays, ct.Work.ParallelWindows)
+	fmt.Fprintf(os.Stderr, "campaign: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows%s\n",
+		ct.Work.Traces, ct.Work.TraceCacheHits, ct.Work.Replays, ct.Work.ReplayMemoHits, ct.Work.ReplayStoreHits, ct.Work.BatchedReplays, ct.Work.ParallelWindows,
+		approxWorkSegment(ap.Enabled, ct.Work))
 
 	w, closeOut := outputTarget(stdout, *out)
 	sink := sweep.NewBatchSink(w, f)
+	sink.SetApprox(ap.Enabled)
 	for i, r := range results {
 		if err := sink.Accept(i, r); err != nil {
 			return err
@@ -302,7 +309,7 @@ func unfinished(c *campaign.Coordinator) int {
 
 // spawnArgs builds a spawned worker's command line. Worker i gets chaos
 // seed+i so the processes fail on distinct, still-deterministic schedules.
-func spawnArgs(i int, baseURL, cacheDir string, pool int, rp *cliflag.Replay, chaosRate float64, chaosMode string, chaosSeed uint64) []string {
+func spawnArgs(i int, baseURL, cacheDir string, pool int, rp *cliflag.Replay, ap *cliflag.Approx, chaosRate float64, chaosMode string, chaosSeed uint64) []string {
 	args := []string{"worker",
 		"-coordinator", baseURL,
 		"-id", fmt.Sprintf("spawn-%d", i),
@@ -316,6 +323,12 @@ func spawnArgs(i int, baseURL, cacheDir string, pool int, rp *cliflag.Replay, ch
 	}
 	if !rp.Batch {
 		args = append(args, "-replay-batch=false")
+	}
+	if ap.Enabled {
+		args = append(args, "-approx",
+			"-approx-maxerr", strconv.FormatFloat(ap.MaxErr, 'g', -1, 64),
+			"-approx-spotcheck", strconv.FormatFloat(ap.SpotCheck, 'g', -1, 64),
+		)
 	}
 	if chaosRate > 0 {
 		args = append(args,
@@ -342,11 +355,15 @@ func runWorker(args []string) error {
 	chaosMode := fs.String("chaos-mode", "crash", "fault to inject: crash, stall, drop or mix")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection schedule")
 	rp := cliflag.RegisterReplay(fs)
+	ap := cliflag.RegisterApprox(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("worker takes no positional arguments (got %q)", fs.Args())
+	}
+	if err := ap.Validate(); err != nil {
+		return err
 	}
 	if *coordURL == "" {
 		return fmt.Errorf("worker needs -coordinator URL")
@@ -390,7 +407,7 @@ func runWorker(args []string) error {
 	w := &campaign.Worker{
 		Board:     client,
 		ID:        *id,
-		Runner:    campaignRunner(base, size, iters, *pool, *cacheDir, rp, warn),
+		Runner:    campaignRunner(base, size, iters, *pool, *cacheDir, rp, ap, warn),
 		Grid:      grid,
 		Signature: spec.Signature,
 		Total:     spec.Total,

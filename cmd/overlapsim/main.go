@@ -15,7 +15,8 @@
 //	                 [-size N] [-iters N]
 //	                 [-workers N] [-format table|csv|json] [-o|-out file]
 //	                 [-shard k/N] [-cache-dir dir] [-progress] [-stream]
-//	                 [-stream-ordered] [platform flags]
+//	                 [-stream-ordered] [-approx [-approx-maxerr F] [-approx-spotcheck F]]
+//	                 [platform flags]
 //	overlapsim tracegen [-pattern ring|stencil2d|alltoall|masterworker|randomsparse]
 //	                 [-ranks N -iters N -msg B -msg-dist D -comp N -comp-dist D]
 //	                 [-imb F -jit F -deg N -seed N] | [-spec gen:...]
@@ -53,6 +54,16 @@
 // the mergeable envelope. -cache-dir persists both traces and replay
 // results, so an identical re-run performs zero instrumented runs and zero
 // replays (see the sweep: work: line).
+//
+// -approx is the surrogate fast path: dense numeric axes (bandwidth,
+// latency, eager threshold) are partitioned into interpolation families,
+// only anchor points are replayed, and the rest are filled in by
+// interpolation in the coordinate space where replay time is linear —
+// validated by spot-check replays against the -approx-maxerr bound and
+// demoted to full replay when the bound is exceeded. Every output row
+// carries an approx column marking predicted points; predicted results are
+// never written to the replay cache. The default (-approx=false) is
+// byte-identical to earlier releases.
 //
 // campaign is the fault-tolerant flavour of that pipeline: a coordinator
 // journals chunk state durably in -dir and leases chunks to pull workers
@@ -296,12 +307,16 @@ func runSweep(args []string, stdout io.Writer) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the sweep ends")
 	rp := cliflag.RegisterReplay(fs)
+	ap := cliflag.RegisterApprox(fs)
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("sweep takes no positional arguments (got %q)", fs.Args())
+	}
+	if err := ap.Validate(); err != nil {
+		return err
 	}
 	cfg, err := mf.Config()
 	if err != nil {
@@ -385,6 +400,7 @@ func runSweep(args []string, stdout io.Writer) error {
 	runner.Iters = *iters
 	runner.Engine = sweep.Engine{Workers: *workers}
 	rp.Apply(runner)
+	ap.Apply(runner)
 	if *cacheDir != "" {
 		runner.Cache = &sweep.TraceCache{Dir: *cacheDir, Warn: warn}
 		runner.Store = &replaystore.Store{Dir: *cacheDir, Warn: warn}
@@ -415,12 +431,17 @@ func runSweep(args []string, stdout io.Writer) error {
 	switch {
 	case !shard.IsZero():
 		sig := sweep.Signature(grid, cfg, *size, *iters)
-		sink = sweep.NewShardSink(w, sig, total, shard, indices)
+		ss := sweep.NewShardSink(w, sig, total, shard, indices)
+		ss.SetApprox(ap.Enabled)
+		sink = ss
 	case *streamOrdered:
 		ordered = sweep.NewOrderedSink(w, f, grid.Expand(), indices)
+		ordered.SetApprox(ap.Enabled)
 		sink = ordered
 	default:
-		sink = sweep.NewBatchSink(w, f)
+		bs := sweep.NewBatchSink(w, f)
+		bs.SetApprox(ap.Enabled)
+		sink = bs
 	}
 
 	// -stream wraps the sink: each completed point is logged to stderr — in
@@ -467,8 +488,9 @@ func runSweep(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "sweep: warning: cache not updated (next run will recompute): %v\n", err)
 	}
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows\n",
-		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits, st.ReplayStoreHits, st.BatchedReplays, st.ParallelWindows)
+	fmt.Fprintf(os.Stderr, "sweep: work: %d instrumented runs, %d trace-cache hits, %d replays, %d replay-memo hits, %d replay-store hits, %d batched replays, %d parallel windows%s\n",
+		st.Traces, st.TraceCacheHits, st.Replays, st.ReplayMemoHits, st.ReplayStoreHits, st.BatchedReplays, st.ParallelWindows,
+		approxWorkSegment(ap.Enabled, st))
 
 	if err := sink.Close(); err != nil {
 		return err
@@ -476,6 +498,17 @@ func runSweep(args []string, stdout io.Writer) error {
 	// A failed close can mean a failed flush: report it, never exit 0 with
 	// a truncated results file.
 	return closeOut()
+}
+
+// approxWorkSegment extends a work: line with the surrogate counters. The
+// segment appears only in -approx runs, so exact-mode stderr stays
+// byte-identical to earlier releases.
+func approxWorkSegment(enabled bool, st sweep.Counters) string {
+	if !enabled {
+		return ""
+	}
+	return fmt.Sprintf(", %d predicted points, %d spot-check replays, %d demoted families",
+		st.PredictedPoints, st.SpotCheckReplays, st.DemotedFamilies)
 }
 
 // streamLogger is the -stream sink decorator: it narrates each completed
@@ -516,6 +549,7 @@ func runMerge(args []string, stdout io.Writer) error {
 		return err
 	}
 	shards := make([]*sweep.ShardFile, 0, fs.NArg())
+	approxMode := false
 	for _, path := range fs.Args() {
 		file, err := os.Open(path)
 		if err != nil {
@@ -526,6 +560,7 @@ func runMerge(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		approxMode = approxMode || sf.ApproxMode
 		shards = append(shards, sf)
 	}
 	results, err := sweep.Merge(shards)
@@ -534,6 +569,7 @@ func runMerge(args []string, stdout io.Writer) error {
 	}
 	w, closeOut := outputTarget(stdout, *out)
 	sink := sweep.NewBatchSink(w, f)
+	sink.SetApprox(approxMode)
 	for i, r := range results {
 		if err := sink.Accept(i, r); err != nil {
 			return err

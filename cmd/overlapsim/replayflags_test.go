@@ -147,8 +147,9 @@ func TestRunSweepProfiles(t *testing.T) {
 // TestSpawnArgsForwardReplayFlags: campaign forwards the replay knobs to
 // spawned workers exactly when they are non-default.
 func TestSpawnArgsForwardReplayFlags(t *testing.T) {
+	off := &cliflag.Approx{}
 	rp := &cliflag.Replay{Par: 4, Batch: false}
-	args := spawnArgs(0, "http://x", "", 1, rp, 0, "crash", 1)
+	args := spawnArgs(0, "http://x", "", 1, rp, off, 0, "crash", 1)
 	if i := slices.Index(args, "-replay-par"); i < 0 || args[i+1] != "4" {
 		t.Errorf("spawn args missing -replay-par 4: %v", args)
 	}
@@ -156,10 +157,34 @@ func TestSpawnArgsForwardReplayFlags(t *testing.T) {
 		t.Errorf("spawn args missing -replay-batch=false: %v", args)
 	}
 	rp = &cliflag.Replay{Par: 0, Batch: true}
-	args = spawnArgs(0, "http://x", "", 1, rp, 0, "crash", 1)
+	args = spawnArgs(0, "http://x", "", 1, rp, off, 0, "crash", 1)
 	for _, a := range args {
 		if strings.HasPrefix(a, "-replay") {
 			t.Errorf("default replay knobs must not be forwarded: %v", args)
+		}
+	}
+}
+
+// TestSpawnArgsForwardApproxFlags: campaign forwards the surrogate knobs
+// to spawned workers exactly when -approx is on, so each worker applies
+// the same fast path to its chunks.
+func TestSpawnArgsForwardApproxFlags(t *testing.T) {
+	rp := &cliflag.Replay{Batch: true}
+	ap := &cliflag.Approx{Enabled: true, MaxErr: 0.01, SpotCheck: 0.5}
+	args := spawnArgs(0, "http://x", "", 1, rp, ap, 0, "crash", 1)
+	if !slices.Contains(args, "-approx") {
+		t.Errorf("spawn args missing -approx: %v", args)
+	}
+	if i := slices.Index(args, "-approx-maxerr"); i < 0 || args[i+1] != "0.01" {
+		t.Errorf("spawn args missing -approx-maxerr 0.01: %v", args)
+	}
+	if i := slices.Index(args, "-approx-spotcheck"); i < 0 || args[i+1] != "0.5" {
+		t.Errorf("spawn args missing -approx-spotcheck 0.5: %v", args)
+	}
+	args = spawnArgs(0, "http://x", "", 1, rp, &cliflag.Approx{}, 0, "crash", 1)
+	for _, a := range args {
+		if strings.HasPrefix(a, "-approx") {
+			t.Errorf("approx knobs must not be forwarded with -approx off: %v", args)
 		}
 	}
 }

@@ -32,12 +32,16 @@ func runServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain: how long in-flight requests may finish after SIGINT/SIGTERM before the listener is torn down")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
 	rp := cliflag.RegisterReplay(fs)
+	ap := cliflag.RegisterApprox(fs)
 	mf := cliflag.RegisterMachine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
+	}
+	if err := ap.Validate(); err != nil {
+		return err
 	}
 	cfg, err := mf.Config()
 	if err != nil {
@@ -48,15 +52,18 @@ func runServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
 	}
 	scfg := serve.Config{
-		Base:          cfg,
-		CacheDir:      *cacheDir,
-		ResultsDir:    *resultsDir,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueued:     *maxQueued,
-		MaxPoints:     *maxPoints,
-		SweepWorkers:  *workers,
-		ReplayPar:     rp.Par,
-		DisableBatch:  !rp.Batch,
+		Base:            cfg,
+		CacheDir:        *cacheDir,
+		ResultsDir:      *resultsDir,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueued:       *maxQueued,
+		MaxPoints:       *maxPoints,
+		SweepWorkers:    *workers,
+		ReplayPar:       rp.Par,
+		DisableBatch:    !rp.Batch,
+		Approx:          ap.Enabled,
+		ApproxMaxErr:    ap.MaxErr,
+		ApproxSpotCheck: ap.SpotCheck,
 	}
 	if !*quiet {
 		scfg.Logf = logf

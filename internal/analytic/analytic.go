@@ -93,6 +93,22 @@ func (m Model) IntermediateBandwidth(cfg machine.Config) (units.Bandwidth, bool)
 	return units.Bandwidth(float64(m.Volume) / wire.Seconds()), true
 }
 
+// IntermediateLatency is the latency-axis analog of IntermediateBandwidth:
+// the network latency at which communication time equals computation time
+// on the given platform's bandwidth — where the overlap benefit peaks when
+// a sweep varies latency instead of bandwidth. ok is false when no
+// positive latency achieves it (the wire time alone already exceeds the
+// computation time, or the model sends no messages). The sweep's surrogate
+// planner uses it to place an anchor replay at the predicted knee of a
+// latency family.
+func (m Model) IntermediateLatency(cfg machine.Config) (units.Duration, bool) {
+	budget := m.Compute - cfg.Bandwidth.TransferTime(m.Volume)
+	if budget <= 0 || m.Messages <= 0 {
+		return 0, false
+	}
+	return budget / units.Duration(m.Messages), true
+}
+
 // IsoBandwidth returns the bandwidth at which the *overlapped* execution
 // matches the performance of the *original* execution on the given (high)
 // reference bandwidth — the paper's finding 3. ok is false when even

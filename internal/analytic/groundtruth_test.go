@@ -1,0 +1,217 @@
+// Ground-truth properties: the analytic model checked not against itself
+// but against the simulator, over a matrix of synthetic tracegen
+// workloads. The model is the paper's theoretical baseline — it abstracts
+// away pattern structure, contention and timing — so these tests pin the
+// relationships that must survive that abstraction: the 2x speedup
+// ceiling, the knee location, and the iso-bandwidth ordering.
+package analytic_test
+
+import (
+	"testing"
+
+	"overlapsim/internal/analytic"
+	"overlapsim/internal/machine"
+	"overlapsim/internal/sweep"
+	"overlapsim/internal/trace"
+	"overlapsim/internal/tracegen"
+	"overlapsim/internal/tracer"
+	"overlapsim/internal/units"
+)
+
+// groundMatrix is the spec matrix: two patterns crossed with light and
+// heavy communication loads, all deterministic (fixed distributions,
+// balanced, no jitter) so the simulated curves are smooth enough to
+// locate their knees.
+func groundMatrix() []tracegen.Spec {
+	var specs []tracegen.Spec
+	for _, pat := range []tracegen.Pattern{tracegen.Ring, tracegen.AllToAll} {
+		for _, msg := range []units.Bytes{4 * units.KB, 64 * units.KB} {
+			s := tracegen.DefaultSpec(pat)
+			s.MsgBytes = msg
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// groundBandwidths is the sweep axis the knee is located on: log-spaced
+// with ratio 2, wide enough to cover comm-bound through compute-bound.
+func groundBandwidths() []units.Bandwidth {
+	bws := make([]units.Bandwidth, 0, 16)
+	bw := units.Bandwidth(1 * units.MBPerSec)
+	for i := 0; i < 16; i++ {
+		bws = append(bws, bw)
+		bw *= 2
+	}
+	return bws
+}
+
+// modelFor derives the analytic model from the same generated trace the
+// simulator replays, at the trace's recorded MIPS.
+func modelFor(t *testing.T, spec tracegen.Spec) analytic.Model {
+	t.Helper()
+	ps, err := tracegen.Generate(spec, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analytic.FromStats(trace.Stats(ps.Original), ps.Original.MIPS)
+}
+
+// simulate sweeps the spec over the bandwidth axis and returns the
+// simulated overlap benefit TOriginal/TOverlap per grid point.
+func simulate(t *testing.T, spec tracegen.Spec, bws []units.Bandwidth) []float64 {
+	t.Helper()
+	r := sweep.NewRunner(machine.Default())
+	res, err := r.Run(sweep.Grid{Apps: []string{spec.String()}, Bandwidths: bws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(bws) {
+		t.Fatalf("sweep returned %d results for %d bandwidths", len(res), len(bws))
+	}
+	benefit := make([]float64, len(res))
+	for i, rr := range res {
+		if rr.TOverlap <= 0 {
+			t.Fatalf("point %d has non-positive TOverlap %v", i, rr.TOverlap)
+		}
+		benefit[i] = float64(rr.TOriginal) / float64(rr.TOverlap)
+	}
+	return benefit
+}
+
+// TestGroundTruthSpeedupCeiling: on every workload and every simulated
+// platform point, the analytic speedup respects its 2x ceiling — overlap
+// can at best hide the smaller of compute and communication — and never
+// predicts a slowdown.
+func TestGroundTruthSpeedupCeiling(t *testing.T) {
+	base := machine.Default()
+	for _, spec := range groundMatrix() {
+		m := modelFor(t, spec)
+		for _, bw := range groundBandwidths() {
+			for _, lat := range []units.Duration{0, 5 * units.Microsecond, 50 * units.Microsecond} {
+				cfg := base.WithBandwidth(bw)
+				cfg.Latency = lat
+				s := m.Speedup(cfg)
+				if s > 2.0 {
+					t.Errorf("%s @ %v/%v: analytic speedup %.4f exceeds the 2x ceiling", spec, bw, lat, s)
+				}
+				if s < 1.0 {
+					t.Errorf("%s @ %v/%v: analytic speedup %.4f predicts a slowdown", spec, bw, lat, s)
+				}
+			}
+		}
+	}
+}
+
+// kneeMatrix is the knee test's own spec matrix: compute sized per
+// pattern so every entry is genuinely bandwidth-bound (the model has a
+// finite IntermediateBandwidth) and the knee sits well inside the grid.
+// The alltoall entries need 10-100x the ring compute because 28 messages
+// per iteration pay the 10us startup latency before bandwidth matters.
+func kneeMatrix() []tracegen.Spec {
+	mk := func(pat tracegen.Pattern, msg units.Bytes, comp int64) tracegen.Spec {
+		s := tracegen.DefaultSpec(pat)
+		s.MsgBytes = msg
+		s.Compute = comp
+		return s
+	}
+	return []tracegen.Spec{
+		mk(tracegen.Ring, 4*units.KB, 20000),
+		mk(tracegen.Ring, 4*units.KB, 200000),
+		mk(tracegen.Ring, 64*units.KB, 200000),
+		mk(tracegen.AllToAll, 4*units.KB, 200000),
+		mk(tracegen.AllToAll, 64*units.KB, 2000000),
+	}
+}
+
+// TestGroundTruthKneeBracketing: the model's IntermediateBandwidth — the
+// closed-form bandwidth where communication equals computation — must
+// land in the grid neighborhood of the *simulated* knee. Empirically the
+// simulated benefit is not a symmetric peak: it plateaus near 2x on the
+// comm-bound side (the replayer hides the whole compute phase inside the
+// transfer) and falls off once bandwidth pushes communication under
+// computation, so the knee manifests as the steepest descent between
+// adjacent grid points. The bracket is that segment widened by one
+// ratio-2 step either side — the same tolerance the sweep's surrogate
+// planner assumes when it treats model curvature as a refinement hint.
+func TestGroundTruthKneeBracketing(t *testing.T) {
+	bws := groundBandwidths()
+	base := machine.Default()
+	for _, spec := range kneeMatrix() {
+		m := modelFor(t, spec)
+		knee, ok := m.IntermediateBandwidth(base)
+		if !ok {
+			t.Errorf("%s: no finite intermediate bandwidth on the default platform", spec)
+			continue
+		}
+		benefit := simulate(t, spec, bws)
+		drop := 0
+		for i := 0; i+1 < len(benefit); i++ {
+			if benefit[i]-benefit[i+1] > benefit[drop]-benefit[drop+1] {
+				drop = i
+			}
+		}
+		lo, hi := drop-1, drop+2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(bws)-1 {
+			hi = len(bws) - 1
+		}
+		if knee < bws[lo] || knee > bws[hi] {
+			t.Errorf("%s: analytic knee %v outside [%v, %v] around the steepest simulated falloff [%v, %v]",
+				spec, knee, bws[lo], bws[hi], bws[drop], bws[drop+1])
+		}
+	}
+}
+
+// TestGroundTruthLatencyBoundAgreement: when the model reports no finite
+// intermediate bandwidth — startup latency alone already exceeds the
+// compute available to hide it — the simulator must agree that overlap
+// never approaches its 2x ideal at any bandwidth. The default alltoall
+// spec is exactly this regime: 28 messages per iteration pay 10us of
+// latency each against ~109us of compute.
+func TestGroundTruthLatencyBoundAgreement(t *testing.T) {
+	spec := tracegen.DefaultSpec(tracegen.AllToAll)
+	m := modelFor(t, spec)
+	if knee, ok := m.IntermediateBandwidth(machine.Default()); ok {
+		t.Fatalf("expected latency-bound workload, got finite knee %v", knee)
+	}
+	benefit := simulate(t, spec, groundBandwidths())
+	for i, b := range benefit {
+		if b > 1.9 {
+			t.Errorf("latency-bound workload reached benefit %.4f at grid point %d; overlap should stay well under 2x", b, i)
+		}
+	}
+}
+
+// TestGroundTruthIsoBandwidthMonotone: IsoBandwidth — the bandwidth at
+// which overlapped execution matches the original's performance at a
+// reference bandwidth — must be monotone in the reference (a faster
+// target needs a faster overlapped network) and never exceed it (finding
+// 3: overlap reaches the reference's performance with less bandwidth).
+func TestGroundTruthIsoBandwidthMonotone(t *testing.T) {
+	base := machine.Default()
+	refs := []units.Bandwidth{
+		64 * units.MBPerSec, 256 * units.MBPerSec,
+		units.Bandwidth(units.GB), 4 * units.Bandwidth(units.GB),
+	}
+	for _, spec := range groundMatrix() {
+		m := modelFor(t, spec)
+		prev := units.Bandwidth(0)
+		for _, ref := range refs {
+			iso, ok := m.IsoBandwidth(base, ref)
+			if !ok {
+				t.Errorf("%s: no iso bandwidth for reference %v", spec, ref)
+				continue
+			}
+			if iso > ref {
+				t.Errorf("%s: iso bandwidth %v exceeds its reference %v — overlap should need less, not more", spec, iso, ref)
+			}
+			if iso < prev {
+				t.Errorf("%s: iso bandwidth fell from %v to %v as the reference rose to %v", spec, prev, iso, ref)
+			}
+			prev = iso
+		}
+	}
+}

@@ -69,14 +69,14 @@ func TestReplayerReuseMatchesFreshSimulate(t *testing.T) {
 	}
 }
 
-// TestReplaySteadyStateAllocs is the tentpole's guard: once a Replayer is
-// warm, a full Simulate run must only allocate the result objects it hands
-// back — the Result, its two slices, the timeline set, and one snapshot
-// slice per rank with intervals (plus events when markers exist). For the
-// 4-rank mixed workload that is at most 4 + 2*4 = 12 allocations; the event
-// loop itself (scheduling, transfers, collectives, matching) contributes
-// zero. A rise here means per-event allocation crept back into the replay
-// hot path.
+// TestReplaySteadyStateAllocs is the steady-state guard: once a Replayer
+// is warm, a full Simulate run must only allocate the result snapshot it
+// hands back — one block holding the Result and its timeline set, the
+// lines slice, and the two interval/event arenas every rank's snapshot is
+// carved from. That is at most 4 allocations per run regardless of rank
+// count (3 without markers); the event loop itself (scheduling, transfers,
+// collectives, matching) contributes zero. A rise here means per-event or
+// per-rank allocation crept back into the replay hot path.
 func TestReplaySteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; budget is pinned by the non-race run")
@@ -94,7 +94,7 @@ func TestReplaySteadyStateAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const budget = 12
+	const budget = 4
 	if allocs > budget {
 		t.Errorf("warm Simulate allocates %.1f/run, budget %d", allocs, budget)
 	}

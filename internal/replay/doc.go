@@ -29,10 +29,12 @@
 // guarantees each request is waited at most once, which is what makes the
 // reference count exact).
 //
-// A warm Replayer therefore allocates only the result objects a Simulate
-// call hands back: the Result, its rank and timeline slices, and one
-// snapshot slice per rank. TestReplaySteadyStateAllocs pins that budget
-// (12 allocations for the 4-rank guard workload); the package-level
+// A warm Replayer therefore allocates only the result snapshot a Simulate
+// call hands back: one block holding the Result and its timeline set, the
+// lines slice, and two arenas all ranks' intervals and events are carved
+// from (sized up front via timeline.Builder.SnapshotBound, so the count
+// is independent of rank count). TestReplaySteadyStateAllocs pins that
+// budget (4 allocations for the 4-rank guard workload); the package-level
 // Simulate draws replayers from an internal pool so every caller — the
 // sweep runner's workers included — reuses warm scratch automatically.
 //

@@ -52,21 +52,47 @@ func (r RankBreakdown) Blocked() units.Duration {
 type Result struct {
 	Total     units.Time // simulated runtime (max rank finish)
 	Timelines *timeline.Set
-	Ranks     []RankBreakdown
 	Network   NetworkStats
 	Steps     int64 // DES events executed
 	Windows   int64 // conservative-window rounds (0 when run sequentially)
 }
 
+// Ranks derives the per-rank time accounting from the timelines. It is a
+// method rather than a stored field so the warm Simulate path only pays
+// for breakdowns when a caller wants them; each call allocates a fresh
+// slice the caller owns.
+func (r *Result) Ranks() []RankBreakdown {
+	if r.Timelines == nil {
+		return nil
+	}
+	out := make([]RankBreakdown, 0, len(r.Timelines.Lines))
+	for i := range r.Timelines.Lines {
+		l := &r.Timelines.Lines[i]
+		out = append(out, RankBreakdown{
+			Rank:       l.Rank,
+			Finish:     l.Finish,
+			Compute:    l.TimeIn(timeline.Compute),
+			Overhead:   l.TimeIn(timeline.Overhead),
+			Send:       l.TimeIn(timeline.SendBlocked),
+			Recv:       l.TimeIn(timeline.RecvBlocked),
+			Wait:       l.TimeIn(timeline.WaitBlocked),
+			Collective: l.TimeIn(timeline.CollBlocked),
+		})
+	}
+	return out
+}
+
 // MaxBlockedFraction returns the largest per-rank blocked-time share, a
 // platform-dependent measure of how communication-bound the execution is.
+// Interval durations are integers, so summing a line's blocked intervals
+// in one pass equals summing its RankBreakdown fields exactly.
 func (r *Result) MaxBlockedFraction() float64 {
-	if r.Total <= 0 {
+	if r.Total <= 0 || r.Timelines == nil {
 		return 0
 	}
 	var worst float64
-	for _, rb := range r.Ranks {
-		f := rb.Blocked().Seconds() / units.Duration(r.Total).Seconds()
+	for i := range r.Timelines.Lines {
+		f := r.Timelines.Lines[i].BlockedTime().Seconds() / units.Duration(r.Total).Seconds()
 		if f > worst {
 			worst = f
 		}
@@ -76,14 +102,14 @@ func (r *Result) MaxBlockedFraction() float64 {
 
 // MeanBlockedFraction returns the mean per-rank blocked-time share.
 func (r *Result) MeanBlockedFraction() float64 {
-	if r.Total <= 0 || len(r.Ranks) == 0 {
+	if r.Total <= 0 || r.Timelines == nil || len(r.Timelines.Lines) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, rb := range r.Ranks {
-		sum += rb.Blocked().Seconds() / units.Duration(r.Total).Seconds()
+	for i := range r.Timelines.Lines {
+		sum += r.Timelines.Lines[i].BlockedTime().Seconds() / units.Duration(r.Total).Seconds()
 	}
-	return sum / float64(len(r.Ranks))
+	return sum / float64(len(r.Timelines.Lines))
 }
 
 // replayerPool recycles Replayers across Simulate calls, so the package-
@@ -352,33 +378,40 @@ func (s *Replayer) Simulate(ts *trace.Set, cfg machine.Config) (*Result, error) 
 		return nil, err
 	}
 
-	res := &Result{
-		Network: s.stats,
-		Steps:   s.ranSteps,
-		Windows: windows,
-		Ranks:   make([]RankBreakdown, 0, s.nprocs),
+	// Result assembly is warm Simulate's entire allocation budget, so it
+	// is packed hard: the Result and its timeline set share one block,
+	// and every rank's intervals and events are carved out of two arenas
+	// pre-sized with SnapshotBound — at most 4 allocations per run,
+	// regardless of rank count (3 without markers). The handed-out
+	// snapshot owns all of it; nothing aliases the builders.
+	blk := &struct {
+		res  Result
+		tset timeline.Set
+	}{}
+	res, tset := &blk.res, &blk.tset
+	res.Network = s.stats
+	res.Steps = s.ranSteps
+	res.Windows = windows
+	tset.Name = ts.Name
+	tset.Variant = ts.Variant
+	tset.Lines = make([]timeline.Timeline, 0, s.nprocs)
+	var nIv, nEv int
+	for _, p := range s.procs[:s.nprocs] {
+		iv, ev := p.tl.SnapshotBound()
+		nIv, nEv = nIv+iv, nEv+ev
 	}
-	tset := &timeline.Set{
-		Name:    ts.Name,
-		Variant: ts.Variant,
-		Lines:   make([]timeline.Timeline, 0, s.nprocs),
+	ivArena := make([]timeline.Interval, 0, nIv)
+	var evArena []timeline.Event
+	if nEv > 0 {
+		evArena = make([]timeline.Event, 0, nEv)
 	}
 	for _, p := range s.procs[:s.nprocs] {
 		finish := s.finish[p.rank]
-		line := p.tl.Finish(finish)
+		var line timeline.Timeline
+		line, ivArena, evArena = p.tl.FinishInto(finish, ivArena, evArena)
 		if finish > res.Total {
 			res.Total = finish
 		}
-		res.Ranks = append(res.Ranks, RankBreakdown{
-			Rank:       p.rank,
-			Finish:     finish,
-			Compute:    line.TimeIn(timeline.Compute),
-			Overhead:   line.TimeIn(timeline.Overhead),
-			Send:       line.TimeIn(timeline.SendBlocked),
-			Recv:       line.TimeIn(timeline.RecvBlocked),
-			Wait:       line.TimeIn(timeline.WaitBlocked),
-			Collective: line.TimeIn(timeline.CollBlocked),
-		})
 		tset.Lines = append(tset.Lines, line)
 	}
 	tset.Total = res.Total

@@ -41,11 +41,11 @@ func TestSimulatePureCompute(t *testing.T) {
 	if res.Total != units.Time(5*units.Microsecond) {
 		t.Errorf("Total = %v, want 5us", res.Total)
 	}
-	if res.Ranks[0].Compute != 5*units.Microsecond {
-		t.Errorf("Compute = %v, want 5us", res.Ranks[0].Compute)
+	if res.Ranks()[0].Compute != 5*units.Microsecond {
+		t.Errorf("Compute = %v, want 5us", res.Ranks()[0].Compute)
 	}
-	if res.Ranks[0].Blocked() != 0 {
-		t.Errorf("Blocked = %v, want 0", res.Ranks[0].Blocked())
+	if res.Ranks()[0].Blocked() != 0 {
+		t.Errorf("Blocked = %v, want 0", res.Ranks()[0].Blocked())
 	}
 }
 
@@ -62,11 +62,11 @@ func TestSimulateEagerPingTiming(t *testing.T) {
 	if res.Total != units.Time(3*units.Microsecond) {
 		t.Errorf("Total = %v, want 3us", res.Total)
 	}
-	if res.Ranks[0].Finish != units.Time(1*units.Microsecond) {
-		t.Errorf("eager sender finish = %v, want 1us", res.Ranks[0].Finish)
+	if res.Ranks()[0].Finish != units.Time(1*units.Microsecond) {
+		t.Errorf("eager sender finish = %v, want 1us", res.Ranks()[0].Finish)
 	}
-	if res.Ranks[1].Recv != 3*units.Microsecond {
-		t.Errorf("receiver blocked %v, want 3us", res.Ranks[1].Recv)
+	if res.Ranks()[1].Recv != 3*units.Microsecond {
+		t.Errorf("receiver blocked %v, want 3us", res.Ranks()[1].Recv)
 	}
 	if res.Network.Transfers != 1 || res.Network.Bytes != 1000 {
 		t.Errorf("network stats = %+v", res.Network)
@@ -85,11 +85,11 @@ func TestSimulateRendezvousBlocksSender(t *testing.T) {
 	}
 	// Receive posted at 4us; transfer 4..5us wire, delivery 6us. The
 	// rendezvous sender stalls from 1us until delivery.
-	if res.Ranks[0].Finish != units.Time(6*units.Microsecond) {
-		t.Errorf("rendezvous sender finish = %v, want 6us", res.Ranks[0].Finish)
+	if res.Ranks()[0].Finish != units.Time(6*units.Microsecond) {
+		t.Errorf("rendezvous sender finish = %v, want 6us", res.Ranks()[0].Finish)
 	}
-	if res.Ranks[0].Send != 5*units.Microsecond {
-		t.Errorf("sender SendBlocked = %v, want 5us", res.Ranks[0].Send)
+	if res.Ranks()[0].Send != 5*units.Microsecond {
+		t.Errorf("sender SendBlocked = %v, want 5us", res.Ranks()[0].Send)
 	}
 	if res.Total != units.Time(6*units.Microsecond) {
 		t.Errorf("Total = %v, want 6us", res.Total)
@@ -188,8 +188,8 @@ func TestSimulateCollectiveCost(t *testing.T) {
 		t.Errorf("Total = %v, want 6us", res.Total)
 	}
 	// Rank 0 arrived at 1us and left at 6us: 5us in collective.
-	if res.Ranks[0].Collective != 5*units.Microsecond {
-		t.Errorf("rank 0 collective time = %v, want 5us", res.Ranks[0].Collective)
+	if res.Ranks()[0].Collective != 5*units.Microsecond {
+		t.Errorf("rank 0 collective time = %v, want 5us", res.Ranks()[0].Collective)
 	}
 	if res.Network.Collectives != 1 {
 		t.Errorf("Collectives = %d, want 1", res.Network.Collectives)
@@ -210,8 +210,8 @@ func TestSimulateIrecvWaitOverlapsCompute(t *testing.T) {
 	if res.Total != units.Time(5*units.Microsecond) {
 		t.Errorf("Total = %v, want 5us (transfer hidden)", res.Total)
 	}
-	if res.Ranks[1].Wait != 0 {
-		t.Errorf("receiver wait time = %v, want 0", res.Ranks[1].Wait)
+	if res.Ranks()[1].Wait != 0 {
+		t.Errorf("receiver wait time = %v, want 0", res.Ranks()[1].Wait)
 	}
 }
 
@@ -226,15 +226,15 @@ func TestSimulateCPUOverheadCharged(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sender: 2 postings x 2us overhead; it finishes at 4us.
-	if res.Ranks[0].Overhead != 4*units.Microsecond {
-		t.Errorf("sender overhead = %v, want 4us", res.Ranks[0].Overhead)
+	if res.Ranks()[0].Overhead != 4*units.Microsecond {
+		t.Errorf("sender overhead = %v, want 4us", res.Ranks()[0].Overhead)
 	}
-	if res.Ranks[0].Finish != units.Time(4*units.Microsecond) {
-		t.Errorf("sender finish = %v, want 4us", res.Ranks[0].Finish)
+	if res.Ranks()[0].Finish != units.Time(4*units.Microsecond) {
+		t.Errorf("sender finish = %v, want 4us", res.Ranks()[0].Finish)
 	}
 	// Receiver pays overhead per recv posting as well.
-	if res.Ranks[1].Overhead != 4*units.Microsecond {
-		t.Errorf("receiver overhead = %v, want 4us", res.Ranks[1].Overhead)
+	if res.Ranks()[1].Overhead != 4*units.Microsecond {
+		t.Errorf("receiver overhead = %v, want 4us", res.Ranks()[1].Overhead)
 	}
 }
 
@@ -386,7 +386,7 @@ func TestBreakdownConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rb := range res.Ranks {
+	for _, rb := range res.Ranks() {
 		active := rb.Compute + rb.Blocked()
 		if active > units.Duration(rb.Finish) {
 			t.Errorf("rank %d: active %v exceeds finish %v", rb.Rank, active, rb.Finish)
@@ -468,7 +468,7 @@ func TestPropertySimulationInvariants(t *testing.T) {
 			return false
 		}
 		var maxFin units.Time
-		for _, rb := range res.Ranks {
+		for _, rb := range res.Ranks() {
 			if rb.Finish > maxFin {
 				maxFin = rb.Finish
 			}

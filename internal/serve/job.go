@@ -38,6 +38,7 @@ type job struct {
 	format  sweep.Format
 	size    int
 	iters   int
+	approx  approxSettings
 	created time.Time
 	cancel  context.CancelFunc
 
@@ -90,17 +91,25 @@ type WorkJSON struct {
 	ReplayStoreHits int64 `json:"replay_store_hits"`
 	BatchedReplays  int64 `json:"batched_replays"`
 	ParallelWindows int64 `json:"parallel_windows"`
+	// Surrogate fast path counters; omitted when zero so exact-mode
+	// documents are unchanged from earlier releases.
+	PredictedPoints  int64 `json:"predicted_points,omitempty"`
+	SpotCheckReplays int64 `json:"spot_check_replays,omitempty"`
+	DemotedFamilies  int64 `json:"demoted_families,omitempty"`
 }
 
 func workJSON(c sweep.Counters) WorkJSON {
 	return WorkJSON{
-		Traces:          c.Traces,
-		TraceCacheHits:  c.TraceCacheHits,
-		Replays:         c.Replays,
-		ReplayMemoHits:  c.ReplayMemoHits,
-		ReplayStoreHits: c.ReplayStoreHits,
-		BatchedReplays:  c.BatchedReplays,
-		ParallelWindows: c.ParallelWindows,
+		Traces:           c.Traces,
+		TraceCacheHits:   c.TraceCacheHits,
+		Replays:          c.Replays,
+		ReplayMemoHits:   c.ReplayMemoHits,
+		ReplayStoreHits:  c.ReplayStoreHits,
+		BatchedReplays:   c.BatchedReplays,
+		ParallelWindows:  c.ParallelWindows,
+		PredictedPoints:  c.PredictedPoints,
+		SpotCheckReplays: c.SpotCheckReplays,
+		DemotedFamilies:  c.DemotedFamilies,
 	}
 }
 
@@ -109,14 +118,18 @@ func workJSON(c sweep.Counters) WorkJSON {
 // the per-job equivalent of the CLI's `sweep: work:` line, and on a warm
 // repeat of an identical grid it reads all zeros for traces and replays.
 type JobStatus struct {
-	ID        string    `json:"id"`
-	State     JobState  `json:"state"`
-	Points    int       `json:"points"`
-	Completed int64     `json:"completed"`
-	Format    string    `json:"format"`
-	Created   time.Time `json:"created"`
-	Error     string    `json:"error,omitempty"`
-	Work      *WorkJSON `json:"work,omitempty"`
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Points    int      `json:"points"`
+	Completed int64    `json:"completed"`
+	Format    string   `json:"format"`
+	// Approx reports that the job ran with the surrogate fast path, so
+	// its body may carry interpolated rows (marked in the approx column).
+	// Omitted for exact jobs, keeping their documents unchanged.
+	Approx  bool      `json:"approx,omitempty"`
+	Created time.Time `json:"created"`
+	Error   string    `json:"error,omitempty"`
+	Work    *WorkJSON `json:"work,omitempty"`
 }
 
 // Status snapshots the job.
@@ -129,6 +142,7 @@ func (j *job) Status() JobStatus {
 		Points:    j.points,
 		Completed: j.completed.Load(),
 		Format:    string(j.format),
+		Approx:    j.approx.enabled,
 		Created:   j.created,
 		Error:     j.errst,
 	}

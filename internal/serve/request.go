@@ -52,6 +52,30 @@ type SweepRequest struct {
 	// Format selects the response encoding: "table", "csv" or "json"
 	// (omitted = csv, the format machine clients want).
 	Format string `json:"format,omitempty"`
+
+	// Approx overrides the server's surrogate fast path default for this
+	// job: true thins dense numeric axes to replayed anchors and
+	// interpolates the rest (results carry an approx column), false forces
+	// an exact run. Omitted inherits the daemon's -approx setting.
+	Approx *bool `json:"approx,omitempty"`
+	// ApproxMaxErr overrides the relative error bound for this job's
+	// predictions (0 or omitted inherits the daemon's setting).
+	ApproxMaxErr float64 `json:"approx_maxerr,omitempty"`
+	// ApproxSpotCheck overrides the fraction of predicted points per
+	// family spot-replayed by the error gate (0 or omitted inherits).
+	ApproxSpotCheck float64 `json:"approx_spotcheck,omitempty"`
+}
+
+// ValidateApprox rejects out-of-range surrogate knob overrides, naming
+// the JSON field.
+func (r SweepRequest) ValidateApprox() error {
+	if r.ApproxMaxErr < 0 {
+		return fmt.Errorf("approx_maxerr must be positive (got %g)", r.ApproxMaxErr)
+	}
+	if r.ApproxSpotCheck < 0 || r.ApproxSpotCheck > 1 {
+		return fmt.Errorf("approx_spotcheck must be in [0,1] (got %g)", r.ApproxSpotCheck)
+	}
+	return nil
 }
 
 // DefaultFormat is the response encoding of requests that omit Format.

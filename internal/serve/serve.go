@@ -45,6 +45,18 @@ type Config struct {
 	// DisableBatch turns off batched warm-replayer execution for
 	// platform-axis grids.
 	DisableBatch bool
+	// Approx turns on the surrogate fast path for every job by default:
+	// dense numeric axes are thinned to replayed anchors and the rest of
+	// each family is interpolated within ApproxMaxErr. A request may
+	// override this per job with its "approx" field.
+	Approx bool
+	// ApproxMaxErr is the relative error bound for surrogate predictions
+	// (0 = sweep.DefaultApproxMaxErr).
+	ApproxMaxErr float64
+	// ApproxSpotCheck is the fraction of predicted points per family that
+	// are spot-replayed to validate the bound (0 =
+	// sweep.DefaultApproxSpotCheck).
+	ApproxSpotCheck float64
 	// MaxPoints, when positive, rejects grids that expand to more points
 	// with 413 — an admission guard against a single request that would
 	// monopolize the service for hours.
@@ -130,8 +142,36 @@ func (s *Server) CancelAll() {
 	}
 }
 
+// approxSettings is one job's resolved surrogate fast path knobs: the
+// request's overrides where present, the server's defaults otherwise.
+type approxSettings struct {
+	enabled   bool
+	maxErr    float64
+	spotCheck float64
+}
+
+// approxFor resolves a request's surrogate knobs against the server
+// config.
+func (s *Server) approxFor(req SweepRequest) approxSettings {
+	a := approxSettings{
+		enabled:   s.cfg.Approx,
+		maxErr:    s.cfg.ApproxMaxErr,
+		spotCheck: s.cfg.ApproxSpotCheck,
+	}
+	if req.Approx != nil {
+		a.enabled = *req.Approx
+	}
+	if req.ApproxMaxErr > 0 {
+		a.maxErr = req.ApproxMaxErr
+	}
+	if req.ApproxSpotCheck > 0 {
+		a.spotCheck = req.ApproxSpotCheck
+	}
+	return a
+}
+
 // register creates and records a job in state queued.
-func (s *Server) register(grid sweep.Grid, points int, f sweep.Format, size, iters int, cancel context.CancelFunc) *job {
+func (s *Server) register(grid sweep.Grid, points int, f sweep.Format, size, iters int, approx approxSettings, cancel context.CancelFunc) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -143,6 +183,7 @@ func (s *Server) register(grid sweep.Grid, points int, f sweep.Format, size, ite
 		format:  f,
 		size:    size,
 		iters:   iters,
+		approx:  approx,
 		created: time.Now(),
 		cancel:  cancel,
 		state:   JobQueued,
@@ -188,6 +229,9 @@ func (s *Server) noteFinished(jb *job) {
 		s.work.ReplayStoreHits += st.Work.ReplayStoreHits
 		s.work.BatchedReplays += st.Work.BatchedReplays
 		s.work.ParallelWindows += st.Work.ParallelWindows
+		s.work.PredictedPoints += st.Work.PredictedPoints
+		s.work.SpotCheckReplays += st.Work.SpotCheckReplays
+		s.work.DemotedFamilies += st.Work.DemotedFamilies
 	}
 }
 
@@ -218,6 +262,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
+	if err := req.ValidateApprox(); err != nil {
+		WriteError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
 	total := grid.Size()
 	if s.cfg.MaxPoints > 0 && total > s.cfg.MaxPoints {
 		WriteError(w, http.StatusRequestEntityTooLarge,
@@ -229,7 +277,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// its sweep) plus the cancel handle DELETE and CancelAll pull.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	jb := s.register(grid, total, format, req.Size, req.Iters, cancel)
+	jb := s.register(grid, total, format, req.Size, req.Iters, s.approxFor(req), cancel)
 	s.logf("%s: submitted: %d points, format %s", jb.id, total, format)
 
 	if err := s.queue.Admit(ctx); err != nil {
@@ -318,6 +366,9 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 	runner.Iters = jb.iters
 	runner.ReplayPar = s.cfg.ReplayPar
 	runner.DisableBatch = s.cfg.DisableBatch
+	runner.Approx = jb.approx.enabled
+	runner.ApproxMaxErr = jb.approx.maxErr
+	runner.ApproxSpotCheck = jb.approx.spotCheck
 	runner.Engine = sweep.Engine{
 		Workers:  s.cfg.SweepWorkers,
 		Progress: func(done, total int) { jb.completed.Store(int64(done)) },
@@ -341,6 +392,7 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 		fw.flush = f
 	}
 	ordered := sweep.NewOrderedSink(fw, jb.format, jb.grid.Expand(), nil)
+	ordered.SetApprox(jb.approx.enabled)
 	sink := sweep.Sink(ordered)
 
 	// The results-dir leg: tee the same ordered stream into a file. The
@@ -354,7 +406,9 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 			s.logf("%s: results file: %v", jb.id, err)
 		} else {
 			file = f
-			sink = sweep.NewTeeSink(ordered, sweep.NewOrderedSink(file, jb.format, jb.grid.Expand(), nil))
+			fileSink := sweep.NewOrderedSink(file, jb.format, jb.grid.Expand(), nil)
+			fileSink.SetApprox(jb.approx.enabled)
+			sink = sweep.NewTeeSink(ordered, fileSink)
 		}
 	}
 
@@ -388,8 +442,13 @@ func (s *Server) runJob(w http.ResponseWriter, jb *job, ctx context.Context) {
 		jb.finish(JobDone, "", work)
 	}
 	s.noteFinished(jb)
-	s.logf("%s: %s: %d/%d points; work: %d traces, %d replays, %d store hits",
-		jb.id, status, jb.completed.Load(), jb.points, work.Traces, work.Replays, work.ReplayStoreHits)
+	approxNote := ""
+	if jb.approx.enabled {
+		approxNote = fmt.Sprintf(", %d predicted points, %d spot-check replays, %d demoted families",
+			work.PredictedPoints, work.SpotCheckReplays, work.DemotedFamilies)
+	}
+	s.logf("%s: %s: %d/%d points; work: %d traces, %d replays, %d store hits%s",
+		jb.id, status, jb.completed.Load(), jb.points, work.Traces, work.Replays, work.ReplayStoreHits, approxNote)
 	h.Set(trailerStatus, status)
 	if st := jb.Status(); st.Error != "" {
 		h.Set(trailerError, st.Error)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -598,4 +599,70 @@ func TestServeBatchedParallelCounters(t *testing.T) {
 		t.Errorf("/stats does not aggregate the new counters: stats %+v, job %+v",
 			stats.Work, *st.Work)
 	}
+}
+
+// TestServeApproxRequest covers the surrogate fast path over HTTP: a
+// request with "approx":true streams a body carrying the approx column,
+// reports predicted points in its terminal work document, and a plain
+// request on the same daemon stays exact with the pre-approx document
+// shape (no approx field, no surrogate counters).
+func TestServeApproxRequest(t *testing.T) {
+	s := New(Config{CacheDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bws := make([]string, 32)
+	for i := range bws {
+		bws[i] = fmt.Sprintf("%dMB/s", 8*(i+1))
+	}
+	grid := `{"apps":["pingpong"],"bandwidths":["` + strings.Join(bws, `","`) + `"],"size":256,"iters":1,"format":"csv"`
+
+	resp := postSweep(t, ts.URL, grid+`,"approx":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(string(body), "\n")
+	if !strings.HasSuffix(header, ",approx") {
+		t.Errorf("approx job's CSV header lacks the approx column: %q", header)
+	}
+	st := getStatus(t, ts.URL, "job-1")
+	if !st.Approx {
+		t.Errorf("approx job status lacks the approx flag: %+v", st)
+	}
+	if st.Work == nil || st.Work.PredictedPoints == 0 {
+		t.Errorf("approx job over a 32-bandwidth axis predicted nothing: %+v", st.Work)
+	}
+
+	resp = postSweep(t, ts.URL, grid+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.Status)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ = strings.Cut(string(body), "\n")
+	if strings.Contains(header, "approx") {
+		t.Errorf("exact job's CSV header gained an approx column: %q", header)
+	}
+	st = getStatus(t, ts.URL, "job-2")
+	if st.Approx {
+		t.Errorf("exact job status carries the approx flag: %+v", st)
+	}
+	if st.Work == nil || st.Work.PredictedPoints != 0 {
+		t.Errorf("exact job reported surrogate work: %+v", st.Work)
+	}
+
+	// Out-of-range knob overrides fail loudly at admission.
+	resp = postSweep(t, ts.URL, grid+`,"approx_maxerr":-1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative approx_maxerr: got %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
 }

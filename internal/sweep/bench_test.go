@@ -47,3 +47,32 @@ func BenchmarkSweep(b *testing.B) {
 		})
 	}
 }
+
+// benchDense runs the acceptance-criterion 512-point dense grid with the
+// surrogate fast path on or off. The trace cache is primed outside the
+// timer, so the pair isolates what the surrogate actually saves: replay
+// work. The two benchmarks exist as a pair — the recorded ratio between
+// them is the fast path's headline speedup on its target workload shape.
+func benchDense(b *testing.B, approx bool) {
+	g := denseGrid()
+	r := denseRunner(approx)
+	if _, err := r.Run(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepDenseExact is the exact-mode half of the surrogate pair:
+// every one of the 512 grid points is replayed.
+func BenchmarkSweepDenseExact(b *testing.B) { benchDense(b, false) }
+
+// BenchmarkSweepDenseApprox is the fast-path half: anchors plus refinement
+// plus spot checks replay, interpolation fills the rest (~21% of the exact
+// replay count at the default 2% error bound).
+func BenchmarkSweepDenseApprox(b *testing.B) { benchDense(b, true) }

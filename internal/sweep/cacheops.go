@@ -54,10 +54,11 @@ func (e CacheEntry) Current() bool {
 	return false
 }
 
-// CacheEntries enumerates every entry of a shared cache directory — trace
-// entries first, then replay entries, each group sorted by key — so `cache
-// ls` and the prune planner see one deterministic list. A missing
-// directory is an empty cache.
+// CacheEntries enumerates every entry of a shared cache directory as one
+// list globally sorted by key (kind breaks the tie), so `cache ls` output
+// is stable and diffable across repeated scans regardless of directory
+// order or which kind a key belongs to. A missing directory is an empty
+// cache.
 func CacheEntries(dir string) ([]CacheEntry, error) {
 	tc := &TraceCache{Dir: dir}
 	traces, err := tc.Entries()
@@ -82,6 +83,12 @@ func CacheEntries(dir string) ([]CacheEntry, error) {
 			Paths: []string{r.Path}, Size: r.Size, ModTime: r.ModTime,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out, nil
 }
 

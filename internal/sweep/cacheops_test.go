@@ -68,6 +68,41 @@ func TestCacheEntriesListsBothKinds(t *testing.T) {
 	}
 }
 
+// TestCacheEntriesStableOrder: the listing is one globally key-sorted
+// sequence (kind breaks ties), identical across repeated scans — what
+// makes `cache ls` output diffable in scripts.
+func TestCacheEntriesStableOrder(t *testing.T) {
+	dir := t.TempDir()
+	warmCacheDir(t, dir)
+	writeStale(t, dir)
+	first, err := CacheEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 3 {
+		t.Fatalf("expected trace, replay and stale entries, got %d", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Key > b.Key || (a.Key == b.Key && a.Kind >= b.Kind) {
+			t.Errorf("entries out of order: %s/%s before %s/%s", a.Kind, a.Key, b.Kind, b.Key)
+		}
+	}
+	again, err := CacheEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(first) {
+		t.Fatalf("repeat scan found %d entries, first found %d", len(again), len(first))
+	}
+	for i := range first {
+		if first[i].Kind != again[i].Kind || first[i].Key != again[i].Key {
+			t.Errorf("entry %d moved between scans: %s/%s vs %s/%s",
+				i, first[i].Kind, first[i].Key, again[i].Kind, again[i].Key)
+		}
+	}
+}
+
 func TestCacheEntriesMissingDirIsEmpty(t *testing.T) {
 	entries, err := CacheEntries(filepath.Join(t.TempDir(), "nope"))
 	if err != nil || len(entries) != 0 {

@@ -33,33 +33,59 @@ func ParseFormat(s string) (Format, error) {
 // Write encodes the results in the given format. Platform-axis columns are
 // dynamic: they appear (between the bandwidth and chunks columns) only when
 // the results sweep the axis, so output for grids without platform axes is
-// byte-identical to earlier releases. Write is the batch path; the same
+// byte-identical to earlier releases. An `approx` column is appended when
+// any result is surrogate-predicted; streaming consumers that must commit
+// a header before seeing data use WriteMode / Sink.SetApprox to fix the
+// column from the run mode instead. Write is the batch path; the same
 // rows flow through the Sink implementations, which share these builders,
 // so batch and streamed encodings cannot drift apart.
 func Write(w io.Writer, f Format, results []Result) error {
+	return WriteMode(w, f, results, anyApprox(results))
+}
+
+// WriteMode is Write with the approx column fixed by the caller: on for a
+// `-approx` run (every row carries its exact/predicted marking, whether
+// or not any prediction survived the gate), off otherwise. Exact-mode
+// output never has the column, keeping it byte-identical to earlier
+// releases.
+func WriteMode(w io.Writer, f Format, results []Result, approx bool) error {
 	switch f {
 	case FormatCSV:
-		return WriteCSV(w, results)
+		return writeCSV(w, results, approx)
 	case FormatJSON:
-		return WriteJSON(w, results)
+		return writeJSON(w, results, approx)
 	default:
-		return WriteTable(w, results)
+		return writeTable(w, results, approx)
 	}
+}
+
+// anyApprox reports whether any result is surrogate-predicted.
+func anyApprox(results []Result) bool {
+	for _, r := range results {
+		if r.Approx {
+			return true
+		}
+	}
+	return false
 }
 
 // tableHeader builds the aligned-table header row for the given dynamic
 // overlay columns.
-func tableHeader(overlay []overlayColumn) []string {
+func tableHeader(overlay []overlayColumn, approx bool) []string {
 	header := []string{"app", "ranks", "bandwidth"}
 	for _, c := range overlay {
 		header = append(header, c.head)
 	}
-	return append(header, "chunks", "mechanisms", "pattern",
+	header = append(header, "chunks", "mechanisms", "pattern",
 		"T-original", "T-overlap", "speedup", "blocked")
+	if approx {
+		header = append(header, "approx")
+	}
+	return header
 }
 
 // tableRow renders one result as an aligned-table row.
-func tableRow(overlay []overlayColumn, r Result) []string {
+func tableRow(overlay []overlayColumn, r Result, approx bool) []string {
 	p := r.Point
 	row := []string{p.App, ranksLabel(p.Ranks), r.Bandwidth.String()}
 	for _, c := range overlay {
@@ -69,36 +95,55 @@ func tableRow(overlay []overlayColumn, r Result) []string {
 			row = append(row, baseLabel)
 		}
 	}
-	return append(row, fmt.Sprint(p.Chunks), p.Mechanisms.String(), p.Pattern.String(),
+	row = append(row, fmt.Sprint(p.Chunks), p.Mechanisms.String(), p.Pattern.String(),
 		units.Duration(r.TOriginal).String(), units.Duration(r.TOverlap).String(),
 		fmt.Sprintf("%.3fx", r.Speedup), fmt.Sprintf("%.3f", r.Blocked))
+	if approx {
+		row = append(row, yesNo(r.Approx))
+	}
+	return row
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 // WriteTable renders the results as the aligned text table the experiment
 // harness uses.
 func WriteTable(w io.Writer, results []Result) error {
+	return writeTable(w, results, anyApprox(results))
+}
+
+func writeTable(w io.Writer, results []Result, approx bool) error {
 	overlay := activeOverlayColumns(results)
-	tb := stats.NewTable(tableHeader(overlay)...)
+	tb := stats.NewTable(tableHeader(overlay, approx)...)
 	for _, r := range results {
-		tb.AddRow(tableRow(overlay, r)...)
+		tb.AddRow(tableRow(overlay, r, approx)...)
 	}
 	return tb.Render(w)
 }
 
 // csvHeader builds the CSV header row for the given dynamic overlay columns.
-func csvHeader(overlay []overlayColumn) []string {
+func csvHeader(overlay []overlayColumn, approx bool) []string {
 	header := []string{"app", "ranks", "bandwidth_bytes_per_sec"}
 	for _, c := range overlay {
 		header = append(header, c.csvHead)
 	}
-	return append(header, "chunks", "mechanisms",
+	header = append(header, "chunks", "mechanisms",
 		"pattern", "t_original_ns", "t_overlap_ns", "speedup", "blocked_fraction", "des_steps")
+	if approx {
+		header = append(header, "approx")
+	}
+	return header
 }
 
 // csvRecord renders one result as a CSV record. Times are exact nanosecond
 // integers so downstream tooling does not lose precision to the
 // human-readable rendering.
-func csvRecord(overlay []overlayColumn, r Result) []string {
+func csvRecord(overlay []overlayColumn, r Result, approx bool) []string {
 	p := r.Point
 	rec := []string{
 		p.App,
@@ -112,7 +157,7 @@ func csvRecord(overlay []overlayColumn, r Result) []string {
 			rec = append(rec, baseLabel)
 		}
 	}
-	return append(rec,
+	rec = append(rec,
 		fmt.Sprint(p.Chunks),
 		p.Mechanisms.String(),
 		p.Pattern.String(),
@@ -122,17 +167,25 @@ func csvRecord(overlay []overlayColumn, r Result) []string {
 		fmt.Sprintf("%.6f", r.Blocked),
 		fmt.Sprint(r.Steps),
 	)
+	if approx {
+		rec = append(rec, fmt.Sprint(r.Approx))
+	}
+	return rec
 }
 
 // WriteCSV encodes the results as one CSV row per point.
 func WriteCSV(w io.Writer, results []Result) error {
+	return writeCSV(w, results, anyApprox(results))
+}
+
+func writeCSV(w io.Writer, results []Result, approx bool) error {
 	cw := csv.NewWriter(w)
 	overlay := activeOverlayColumns(results)
-	if err := cw.Write(csvHeader(overlay)); err != nil {
+	if err := cw.Write(csvHeader(overlay, approx)); err != nil {
 		return err
 	}
 	for _, r := range results {
-		if err := cw.Write(csvRecord(overlay, r)); err != nil {
+		if err := cw.Write(csvRecord(overlay, r, approx)); err != nil {
 			return err
 		}
 	}
@@ -160,10 +213,13 @@ type jsonResult struct {
 	Speedup      float64 `json:"speedup"`
 	Blocked      float64 `json:"blocked_fraction"`
 	Steps        int64   `json:"des_steps"`
+	// Approx is emitted (for every row) only in approx mode; exact-mode
+	// encodings stay byte-identical to earlier releases.
+	Approx *bool `json:"approx,omitempty"`
 }
 
 // jsonRow projects one result into its stable JSON form.
-func jsonRow(r Result) jsonResult {
+func jsonRow(r Result, approx bool) jsonResult {
 	p := r.Point
 	out := jsonResult{
 		App:       p.App,
@@ -199,14 +255,22 @@ func jsonRow(r Result) jsonResult {
 		v := ov.Collective.String()
 		out.Collective = &v
 	}
+	if approx {
+		v := r.Approx
+		out.Approx = &v
+	}
 	return out
 }
 
 // WriteJSON encodes the results as an indented JSON array in point order.
 func WriteJSON(w io.Writer, results []Result) error {
+	return writeJSON(w, results, anyApprox(results))
+}
+
+func writeJSON(w io.Writer, results []Result, approx bool) error {
 	out := make([]jsonResult, len(results))
 	for i, r := range results {
-		out[i] = jsonRow(r)
+		out[i] = jsonRow(r, approx)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -56,19 +56,37 @@ type Runner struct {
 	// best-effort in both directions: a corrupt entry is recomputed with a
 	// warning and a failed write surfaces through CacheStoreErr.
 	Store *replaystore.Store
+	// Approx enables the surrogate fast path: dense numeric axes are
+	// partitioned into interpolation families, only an anchor subset per
+	// family is replayed, and the remaining points are predicted by
+	// monotone interpolation, guarded by deterministic spot-check replays
+	// (see approx.go). Off (the default) the runner behaves byte-
+	// identically to a build without the feature. Predicted results are
+	// marked Approx and are never written to the replay store.
+	Approx bool
+	// ApproxMaxErr is the error-bound gate: a family whose spot-checked
+	// relative error exceeds it is demoted to full replay. 0 means
+	// DefaultApproxMaxErr.
+	ApproxMaxErr float64
+	// ApproxSpotCheck is the fraction of predicted points that are spot-
+	// replayed per family (at least one). 0 means DefaultApproxSpotCheck.
+	ApproxSpotCheck float64
 
 	mu       sync.Mutex
 	pipes    map[pipeKey]*pipeline
 	memos    map[memoKey]*memoEntry
 	storeErr error
 
-	ctTraces    atomic.Int64
-	ctTraceHits atomic.Int64
-	ctReplays   atomic.Int64
-	ctMemoHits  atomic.Int64
-	ctStoreHits atomic.Int64
-	ctBatched   atomic.Int64
-	ctWindows   atomic.Int64
+	ctTraces     atomic.Int64
+	ctTraceHits  atomic.Int64
+	ctReplays    atomic.Int64
+	ctMemoHits   atomic.Int64
+	ctStoreHits  atomic.Int64
+	ctBatched    atomic.Int64
+	ctWindows    atomic.Int64
+	ctPredicted  atomic.Int64
+	ctSpotChecks atomic.Int64
+	ctDemoted    atomic.Int64
 }
 
 // Counters is a snapshot of the runner's work and cache-hit accounting —
@@ -92,19 +110,31 @@ type Counters struct {
 	// ParallelWindows counts conservative-window rounds executed by the
 	// parallel replay engine; 0 means every replay ran sequentially.
 	ParallelWindows int64
+	// PredictedPoints counts grid points answered by surrogate
+	// interpolation instead of replay (-approx); 0 in exact mode.
+	PredictedPoints int64
+	// SpotCheckReplays counts the predicted points the error gate
+	// replayed exactly to validate their families.
+	SpotCheckReplays int64
+	// DemotedFamilies counts interpolation families whose spot checks
+	// exceeded the error bound and were demoted to full replay.
+	DemotedFamilies int64
 }
 
 // Add returns the fieldwise sum of two counter snapshots — used to fold
 // per-worker work accounting into campaign totals.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
-		Traces:          c.Traces + o.Traces,
-		TraceCacheHits:  c.TraceCacheHits + o.TraceCacheHits,
-		Replays:         c.Replays + o.Replays,
-		ReplayMemoHits:  c.ReplayMemoHits + o.ReplayMemoHits,
-		ReplayStoreHits: c.ReplayStoreHits + o.ReplayStoreHits,
-		BatchedReplays:  c.BatchedReplays + o.BatchedReplays,
-		ParallelWindows: c.ParallelWindows + o.ParallelWindows,
+		Traces:           c.Traces + o.Traces,
+		TraceCacheHits:   c.TraceCacheHits + o.TraceCacheHits,
+		Replays:          c.Replays + o.Replays,
+		ReplayMemoHits:   c.ReplayMemoHits + o.ReplayMemoHits,
+		ReplayStoreHits:  c.ReplayStoreHits + o.ReplayStoreHits,
+		BatchedReplays:   c.BatchedReplays + o.BatchedReplays,
+		ParallelWindows:  c.ParallelWindows + o.ParallelWindows,
+		PredictedPoints:  c.PredictedPoints + o.PredictedPoints,
+		SpotCheckReplays: c.SpotCheckReplays + o.SpotCheckReplays,
+		DemotedFamilies:  c.DemotedFamilies + o.DemotedFamilies,
 	}
 }
 
@@ -112,26 +142,32 @@ func (c Counters) Add(o Counters) Counters {
 // snapshots of the same runner.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		Traces:          c.Traces - o.Traces,
-		TraceCacheHits:  c.TraceCacheHits - o.TraceCacheHits,
-		Replays:         c.Replays - o.Replays,
-		ReplayMemoHits:  c.ReplayMemoHits - o.ReplayMemoHits,
-		ReplayStoreHits: c.ReplayStoreHits - o.ReplayStoreHits,
-		BatchedReplays:  c.BatchedReplays - o.BatchedReplays,
-		ParallelWindows: c.ParallelWindows - o.ParallelWindows,
+		Traces:           c.Traces - o.Traces,
+		TraceCacheHits:   c.TraceCacheHits - o.TraceCacheHits,
+		Replays:          c.Replays - o.Replays,
+		ReplayMemoHits:   c.ReplayMemoHits - o.ReplayMemoHits,
+		ReplayStoreHits:  c.ReplayStoreHits - o.ReplayStoreHits,
+		BatchedReplays:   c.BatchedReplays - o.BatchedReplays,
+		ParallelWindows:  c.ParallelWindows - o.ParallelWindows,
+		PredictedPoints:  c.PredictedPoints - o.PredictedPoints,
+		SpotCheckReplays: c.SpotCheckReplays - o.SpotCheckReplays,
+		DemotedFamilies:  c.DemotedFamilies - o.DemotedFamilies,
 	}
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Counters {
 	return Counters{
-		Traces:          r.ctTraces.Load(),
-		TraceCacheHits:  r.ctTraceHits.Load(),
-		Replays:         r.ctReplays.Load(),
-		ReplayMemoHits:  r.ctMemoHits.Load(),
-		ReplayStoreHits: r.ctStoreHits.Load(),
-		BatchedReplays:  r.ctBatched.Load(),
-		ParallelWindows: r.ctWindows.Load(),
+		Traces:           r.ctTraces.Load(),
+		TraceCacheHits:   r.ctTraceHits.Load(),
+		Replays:          r.ctReplays.Load(),
+		ReplayMemoHits:   r.ctMemoHits.Load(),
+		ReplayStoreHits:  r.ctStoreHits.Load(),
+		BatchedReplays:   r.ctBatched.Load(),
+		ParallelWindows:  r.ctWindows.Load(),
+		PredictedPoints:  r.ctPredicted.Load(),
+		SpotCheckReplays: r.ctSpotChecks.Load(),
+		DemotedFamilies:  r.ctDemoted.Load(),
 	}
 }
 
@@ -411,8 +447,12 @@ func (r *Runner) RunStreamContext(ctx context.Context, g Grid, emit func(index i
 		return nil, err
 	}
 	pts := g.Expand()
-	r.prefillBatches(pts)
+	approx := r.approxResults(pts, nil)
+	r.prefillRemaining(pts, nil, approx)
 	return StreamContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
+		if res, ok := approx[i]; ok {
+			return res, nil
+		}
 		return r.RunPoint(pts[i])
 	}, emit)
 }
@@ -436,8 +476,12 @@ func (r *Runner) RunSinkContext(ctx context.Context, g Grid, sink Sink) error {
 		return err
 	}
 	pts := g.Expand()
-	r.prefillBatches(pts)
+	approx := r.approxResults(pts, nil)
+	r.prefillRemaining(pts, nil, approx)
 	return EachContext(ctx, r.Engine, len(pts), func(i int) (Result, error) {
+		if res, ok := approx[i]; ok {
+			return res, nil
+		}
 		return r.RunPoint(pts[i])
 	}, func(i int, res Result) error { return sink.Accept(i, res) })
 }
@@ -451,8 +495,12 @@ func (r *Runner) RunIndicesSinkContext(ctx context.Context, g Grid, indices []in
 	if err != nil {
 		return err
 	}
-	r.prefillIndices(pts, indices)
+	approx := r.approxResults(pts, indices)
+	r.prefillRemaining(pts, indices, approx)
 	return EachContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
+		if res, ok := approx[indices[j]]; ok {
+			return res, nil
+		}
 		return r.RunPoint(pts[indices[j]])
 	}, func(j int, res Result) error { return sink.Accept(indices[j], res) })
 }
@@ -497,12 +545,16 @@ func (r *Runner) RunIndicesStreamContext(ctx context.Context, g Grid, indices []
 	if err != nil {
 		return nil, err
 	}
-	r.prefillIndices(pts, indices)
+	approx := r.approxResults(pts, indices)
+	r.prefillRemaining(pts, indices, approx)
 	var emitGrid func(j int, res Result) error
 	if emit != nil {
 		emitGrid = func(j int, res Result) error { return emit(indices[j], res) }
 	}
 	return StreamContext(ctx, r.Engine, len(indices), func(j int) (Result, error) {
+		if res, ok := approx[indices[j]]; ok {
+			return res, nil
+		}
 		return r.RunPoint(pts[indices[j]])
 	}, emitGrid)
 }
@@ -524,4 +576,9 @@ type Result struct {
 	Blocked float64
 	// Steps counts DES events executed across both replays.
 	Steps int64
+	// Approx marks a surrogate-predicted result (the -approx fast path):
+	// its times were interpolated from anchor replays rather than
+	// simulated, within the run's error bound. Exact-mode results and
+	// anchor/spot-check replays leave it false.
+	Approx bool
 }

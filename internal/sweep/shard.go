@@ -111,11 +111,17 @@ const ShardFileVersion = 1
 // plus the full-fidelity results needed to reproduce the unsharded output
 // byte for byte.
 type ShardFile struct {
-	Version   int          `json:"format_version"`
-	Signature string       `json:"signature"`
-	Total     int          `json:"total_points"`
-	Shard     string       `json:"shard"`
-	Points    []shardPoint `json:"points"`
+	Version   int    `json:"format_version"`
+	Signature string `json:"signature"`
+	Total     int    `json:"total_points"`
+	Shard     string `json:"shard"`
+	// ApproxMode records that the shard ran with the surrogate fast path
+	// enabled, whether or not any prediction survived the gate; merge
+	// propagates it so the merged output carries the approx column exactly
+	// when a direct -approx run would. Omitted (false) for exact shards,
+	// keeping their envelopes byte-identical to earlier releases.
+	ApproxMode bool         `json:"approx_mode,omitempty"`
+	Points     []shardPoint `json:"points"`
 }
 
 // shardPoint is one indexed result with every Point and Result field in
@@ -144,6 +150,9 @@ type shardPoint struct {
 	Speedup        float64 `json:"speedup"`
 	Blocked        float64 `json:"blocked_fraction"`
 	Steps          int64   `json:"des_steps"`
+	// Approx marks a surrogate-predicted result; omitted for exact ones,
+	// so exact shard files keep their historical encoding byte for byte.
+	Approx bool `json:"approx,omitempty"`
 }
 
 // setOverlay projects a point's platform overlay onto the shard
@@ -191,6 +200,7 @@ func (sp *shardPoint) result() Result {
 		Speedup:   sp.Speedup,
 		Blocked:   sp.Blocked,
 		Steps:     sp.Steps,
+		Approx:    sp.Approx,
 	}
 }
 
@@ -231,17 +241,27 @@ func (sp *shardPoint) overlay() PlatformOverlay {
 }
 
 // WriteShard encodes one shard's results, where results[j] is the outcome
-// of grid point indices[j].
+// of grid point indices[j]. The envelope's approx mode derives from the
+// data; a shard of an -approx run whose predictions were all demoted
+// should use WriteShardMode to mark the mode explicitly.
 func WriteShard(w io.Writer, signature string, total int, shard Shard, indices []int, results []Result) error {
+	return WriteShardMode(w, signature, total, shard, indices, results, anyApprox(results))
+}
+
+// WriteShardMode is WriteShard with the envelope's approx-mode flag fixed
+// by the caller (true for any -approx run), so merge reproduces the
+// direct run's output exactly even when no prediction survived the gate.
+func WriteShardMode(w io.Writer, signature string, total int, shard Shard, indices []int, results []Result, approxMode bool) error {
 	if len(indices) != len(results) {
 		return fmt.Errorf("sweep: %d indices for %d results", len(indices), len(results))
 	}
 	sf := ShardFile{
-		Version:   ShardFileVersion,
-		Signature: signature,
-		Total:     total,
-		Shard:     shard.String(),
-		Points:    make([]shardPoint, len(results)),
+		Version:    ShardFileVersion,
+		Signature:  signature,
+		Total:      total,
+		Shard:      shard.String(),
+		ApproxMode: approxMode,
+		Points:     make([]shardPoint, len(results)),
 	}
 	for j, r := range results {
 		p := r.Point
@@ -259,6 +279,7 @@ func WriteShard(w io.Writer, signature string, total int, shard Shard, indices [
 			Speedup:        r.Speedup,
 			Blocked:        r.Blocked,
 			Steps:          r.Steps,
+			Approx:         r.Approx,
 		}
 		sf.Points[j].setOverlay(p.Platform)
 	}

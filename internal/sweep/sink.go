@@ -46,6 +46,7 @@ type indexedResult struct {
 type BatchSink struct {
 	w       io.Writer
 	f       Format
+	approx  bool
 	results []indexedResult
 	seen    map[int]bool
 	err     error
@@ -55,6 +56,12 @@ type BatchSink struct {
 func NewBatchSink(w io.Writer, f Format) *BatchSink {
 	return &BatchSink{w: w, f: f, seen: map[int]bool{}}
 }
+
+// SetApprox marks the run as approx-mode: Close emits the approx column
+// even if every prediction was demoted, matching the streaming sinks
+// (whose headers commit before the data is known). Without the mark the
+// column still appears when any buffered result is predicted.
+func (s *BatchSink) SetApprox(on bool) { s.approx = on }
 
 // Accept buffers one result.
 func (s *BatchSink) Accept(index int, r Result) error {
@@ -82,7 +89,7 @@ func (s *BatchSink) Close() error {
 	for i, ir := range s.results {
 		out[i] = ir.res
 	}
-	s.err = Write(s.w, s.f, out)
+	s.err = WriteMode(s.w, s.f, out, s.approx || anyApprox(out))
 	if s.err != nil {
 		return s.err
 	}
@@ -107,6 +114,7 @@ type OrderedSink struct {
 	w       io.Writer
 	f       Format
 	overlay []overlayColumn
+	approx  bool
 
 	order   []int // expected indices, ascending grid order
 	posOf   map[int]int
@@ -152,9 +160,25 @@ func NewOrderedSink(w io.Writer, f Format, pts []Point, indices []int) *OrderedS
 		s.cw = csv.NewWriter(w)
 	case FormatJSON:
 	default:
-		s.tb = stats.NewTable(tableHeader(s.overlay)...)
+		s.tb = stats.NewTable(tableHeader(s.overlay, false)...)
 	}
 	return s
+}
+
+// SetApprox fixes the approx column for the whole stream. A streaming
+// encoding must commit its header before any data arrives, so the column
+// reflects the run mode (-approx), not whether a prediction ultimately
+// survives the gate. Call it before the first Accept; later calls cannot
+// retroactively reshape flushed rows and are ignored once data has been
+// written.
+func (s *OrderedSink) SetApprox(on bool) {
+	if s.headerDone || s.next > 0 || s.jsonCount > 0 {
+		return
+	}
+	s.approx = on
+	if s.tb != nil {
+		s.tb = stats.NewTable(tableHeader(s.overlay, on)...)
+	}
 }
 
 // Flushed returns how many rows have reached the contiguous prefix — what
@@ -196,12 +220,12 @@ func (s *OrderedSink) writeRow(r Result) error {
 	switch s.f {
 	case FormatCSV:
 		if !s.headerDone {
-			if err := s.cw.Write(csvHeader(s.overlay)); err != nil {
+			if err := s.cw.Write(csvHeader(s.overlay, s.approx)); err != nil {
 				return err
 			}
 			s.headerDone = true
 		}
-		if err := s.cw.Write(csvRecord(s.overlay, r)); err != nil {
+		if err := s.cw.Write(csvRecord(s.overlay, r, s.approx)); err != nil {
 			return err
 		}
 		s.cw.Flush()
@@ -210,7 +234,7 @@ func (s *OrderedSink) writeRow(r Result) error {
 		// Reproduce json.Encoder's indented-array framing element by
 		// element, so the concatenation of flushes is byte-identical to the
 		// batch encoder's single Encode call.
-		b, err := json.MarshalIndent(jsonRow(r), "  ", "  ")
+		b, err := json.MarshalIndent(jsonRow(r, s.approx), "  ", "  ")
 		if err != nil {
 			return err
 		}
@@ -225,7 +249,7 @@ func (s *OrderedSink) writeRow(r Result) error {
 		_, err = s.w.Write(b)
 		return err
 	default:
-		s.tb.AddRow(tableRow(s.overlay, r)...)
+		s.tb.AddRow(tableRow(s.overlay, r, s.approx)...)
 		return nil
 	}
 }
@@ -246,7 +270,7 @@ func (s *OrderedSink) Close() error {
 	switch s.f {
 	case FormatCSV:
 		if !s.headerDone {
-			if err := s.cw.Write(csvHeader(s.overlay)); err != nil {
+			if err := s.cw.Write(csvHeader(s.overlay, s.approx)); err != nil {
 				return err
 			}
 			s.headerDone = true
@@ -274,6 +298,7 @@ type ShardSink struct {
 	signature string
 	total     int
 	shard     Shard
+	approx    bool
 	indices   []int
 	posOf     map[int]int
 	results   []Result
@@ -281,6 +306,10 @@ type ShardSink struct {
 	n         int
 	err       error
 }
+
+// SetApprox marks the envelope as coming from an -approx run, so merge
+// renders the approx column even if every prediction was demoted.
+func (s *ShardSink) SetApprox(on bool) { s.approx = on }
 
 // NewShardSink returns a sink writing the shard envelope for the given
 // sweep signature, total point count and owned indices (ascending).
@@ -331,7 +360,7 @@ func (s *ShardSink) Close() error {
 			s.n, len(s.indices), s.shard)
 		return s.err
 	}
-	s.err = WriteShard(s.w, s.signature, s.total, s.shard, s.indices, s.results)
+	s.err = WriteShardMode(s.w, s.signature, s.total, s.shard, s.indices, s.results, s.approx || anyApprox(s.results))
 	if s.err != nil {
 		return s.err
 	}

@@ -1,0 +1,386 @@
+// Package surrogate implements the pure numerics of the sweep's opt-in
+// approximate evaluation mode (`overlapsim sweep -approx`): anchor
+// selection over a numeric grid axis, monotone piecewise interpolation of
+// replay results between anchors, and the deterministic spot-check
+// selection that drives the error-bound gate.
+//
+// Coordinate transforms matter more than anchor count here. Replay time
+// against bandwidth is affine in 1/bandwidth (compute + volume/bw), so
+// the bandwidth axis interpolates in Reciprocal x-space where the true
+// surface is piecewise linear and predictions are near-exact between
+// knees; time against latency is affine in latency itself (Linear); the
+// Log transform spaces anchors evenly over multiplicative grids. Anchors
+// are therefore *placed* in log space but *interpolated* in the space
+// where the physics is linear.
+//
+// The package is deliberately free of sweep types: it operates on sorted
+// float64 axis coordinates and index sets, so every policy here is unit-
+// testable without building grids or running replays. The planning layer
+// in internal/sweep (approx.go) maps grid points onto these primitives.
+package surrogate
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Transform selects the coordinate space interpolation happens in.
+type Transform int
+
+const (
+	// Linear uses the raw coordinate — exact for surfaces affine in the
+	// axis (time vs latency).
+	Linear Transform = iota
+	// Log uses log(x) — even anchor spacing over multiplicative grids and
+	// bounded relative error for power-law-ish value surfaces. Requires
+	// positive values; falls back to Linear otherwise.
+	Log
+	// Reciprocal uses 1/x — exact for surfaces affine in 1/axis (time vs
+	// bandwidth: compute + volume/bw). Requires nonzero values; falls
+	// back to Linear otherwise.
+	Reciprocal
+)
+
+// AnchorCount returns how many anchor points a family of n axis values
+// receives: the two endpoints plus a logarithmically growing interior
+// budget (max(1, ceil(log2 n) - 2)). The count never exceeds n. For the
+// family sizes dense grids produce this keeps the replayed fraction well
+// under the 25% budget: n=8 -> 3, n=16 -> 4, n=32 -> 5, n=512 -> 9.
+func AnchorCount(n int) int {
+	if n <= 2 {
+		return n
+	}
+	interior := int(math.Ceil(math.Log2(float64(n)))) - 2
+	if interior < 1 {
+		interior = 1
+	}
+	count := 2 + interior
+	if count > n {
+		count = n
+	}
+	return count
+}
+
+// Anchors picks count anchor indices from the ascending axis coordinates
+// xs: always both endpoints, plus interior points nearest to evenly spaced
+// targets in transformed coordinate space — so a log-spaced bandwidth grid
+// gets log-spaced anchors under Log. Snapping to the grid can collapse
+// targets onto the same index; the result is deduplicated, sorted, and may
+// therefore hold fewer than count indices.
+func Anchors(xs []float64, xf Transform, count int) []int {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if count >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if count < 2 {
+		count = 2
+	}
+	u := transform(xs, xf)
+	picked := map[int]bool{0: true, n - 1: true}
+	out := []int{0, n - 1}
+	for k := 1; k < count-1; k++ {
+		t := u[0] + float64(k)*(u[n-1]-u[0])/float64(count-1)
+		i := nearest(u, t)
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WithKnee folds a model-predicted knee position into an anchor set: if
+// the knee index is already an anchor the set is unchanged; otherwise the
+// interior anchor nearest to it is replaced (endpoints are never given
+// up), or — when the set has no interior anchors — the knee is added. An
+// out-of-range knee (< 0 or >= n) leaves the set unchanged. The result is
+// sorted.
+func WithKnee(anchors []int, n, knee int) []int {
+	if knee < 0 || knee >= n || len(anchors) == 0 {
+		return anchors
+	}
+	for _, a := range anchors {
+		if a == knee {
+			return anchors
+		}
+	}
+	out := append([]int(nil), anchors...)
+	best, bestDist := -1, 0
+	for i, a := range out {
+		if a == 0 || a == n-1 {
+			continue // keep endpoints
+		}
+		d := a - knee
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		out = append(out, knee)
+	} else {
+		out[best] = knee
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Interpolate fills a full-length value slice from anchor values: ys[k] is
+// the exact value at xs[anchors[k]], and every other position is piecewise
+// linearly interpolated between its bracketing anchors in transformed
+// coordinates. Linear interpolation between anchors is monotone within
+// each segment by construction, whatever the transforms. Positions outside
+// the anchor span (possible only if the anchors omit an endpoint) are
+// clamped onto the nearest segment. A transform whose domain the data
+// violates (Log with a nonpositive value, Reciprocal with a zero) falls
+// back to Linear for that dimension. anchors must be sorted ascending and
+// len(ys) == len(anchors).
+func Interpolate(xs []float64, anchors []int, ys []float64, xf, yf Transform) []float64 {
+	out := make([]float64, len(xs))
+	if len(anchors) == 0 {
+		return out
+	}
+	xf = admissible(xs, xf)
+	yf = admissible(ys, yf)
+	ux := transform(xs, xf)
+	uy := transform(ys, yf)
+	seg := 0
+	for i := range xs {
+		for seg < len(anchors)-2 && i > anchors[seg+1] {
+			seg++
+		}
+		if len(anchors) == 1 {
+			out[i] = ys[0]
+			continue
+		}
+		i0, i1 := anchors[seg], anchors[seg+1]
+		u0, u1 := ux[i0], ux[i1]
+		t := 0.0
+		if u1 != u0 {
+			t = (ux[i] - u0) / (u1 - u0)
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		out[i] = invert(uy[seg]+t*(uy[seg+1]-uy[seg]), yf)
+	}
+	for k, a := range anchors {
+		out[a] = ys[k]
+	}
+	return out
+}
+
+// RefineCandidate locates the non-anchor position where piecewise
+// interpolation of the anchor values is least trustworthy, and estimates
+// the relative error there. The estimate is the classic chord-versus-
+// tangent bound: inside each anchor segment the true curve of a piecewise-
+// smooth surface lies between the segment's chord and the neighbouring
+// segments' extended lines, so their disagreement at the segment midpoint
+// bounds the interpolation error. Taking the minimum over the two
+// extensions keeps a kink that sits exactly *on* an anchor from scoring as
+// risk (the segments on either side of it are straight, and the extension
+// from the same side agrees with the chord); a bend strictly inside a
+// segment disagrees with both neighbours and is flagged. Each fields entry
+// holds one result field's anchor values (len == len(anchors)); a
+// segment's risk is the worst field's.
+//
+// It returns the member position nearest the riskiest segment's
+// transformed-space midpoint and that risk, or (-1, 0) when no estimate is
+// possible: fewer than three anchors (no extension exists) or no segment
+// with interior positions. The caller replays the returned position, adds
+// it as an anchor, and asks again — adaptive bisection that spends replays
+// only where the surface actually bends.
+func RefineCandidate(xs []float64, anchors []int, fields [][]float64, xf Transform) (int, float64) {
+	risks := SegmentRisks(xs, anchors, fields, xf)
+	ux := transform(xs, admissible(xs, xf))
+	bestPos, bestRisk := -1, 0.0
+	for seg, risk := range risks {
+		if risk <= bestRisk {
+			continue
+		}
+		i0, i1 := anchors[seg], anchors[seg+1]
+		mid := (ux[i0] + ux[i1]) / 2
+		pos := i0 + 1
+		for p := i0 + 1; p < i1; p++ {
+			if math.Abs(ux[p]-mid) < math.Abs(ux[pos]-mid) {
+				pos = p
+			}
+		}
+		bestPos, bestRisk = pos, risk
+	}
+	return bestPos, bestRisk
+}
+
+// SegmentRisks is RefineCandidate's estimator exposed per segment: entry
+// seg is the estimated relative interpolation error at the midpoint of the
+// segment between anchors[seg] and anchors[seg+1]. Segments with no
+// interior positions score zero (there is nothing to mispredict), as does
+// every segment when fewer than three anchors exist (no extension to
+// disagree with). Callers use it after a refinement budget runs out, to
+// leave the positions of still-distrusted segments to the exact path
+// instead of predicting them.
+func SegmentRisks(xs []float64, anchors []int, fields [][]float64, xf Transform) []float64 {
+	if len(anchors) < 2 {
+		return nil
+	}
+	risks := make([]float64, len(anchors)-1)
+	if len(anchors) < 3 {
+		return risks
+	}
+	ux := transform(xs, admissible(xs, xf))
+	for seg := range risks {
+		i0, i1 := anchors[seg], anchors[seg+1]
+		if i1-i0 < 2 {
+			continue // no interior positions
+		}
+		mid := (ux[i0] + ux[i1]) / 2
+		for _, ys := range fields {
+			chord := lineAt(ux[i0], ys[seg], ux[i1], ys[seg+1], mid)
+			dev := math.Inf(1)
+			if seg > 0 {
+				ext := lineAt(ux[anchors[seg-1]], ys[seg-1], ux[i0], ys[seg], mid)
+				dev = math.Min(dev, RelErr(ext, chord))
+			}
+			if seg+2 < len(anchors) {
+				ext := lineAt(ux[i1], ys[seg+1], ux[anchors[seg+2]], ys[seg+2], mid)
+				dev = math.Min(dev, RelErr(ext, chord))
+			}
+			if !math.IsInf(dev, 1) && dev > risks[seg] {
+				risks[seg] = dev
+			}
+		}
+	}
+	return risks
+}
+
+// lineAt evaluates the line through (x0,y0) and (x1,y1) at x.
+func lineAt(x0, y0, x1, y1, x float64) float64 {
+	if x1 == x0 {
+		return (y0 + y1) / 2
+	}
+	return y0 + (x-x0)*(y1-y0)/(x1-x0)
+}
+
+// SpotChecks selects which of n predicted positions the error gate
+// replays: round(fraction*n) of them, at least one, chosen by a strided
+// walk whose offset derives from seed — deterministic for a given
+// (seed, n, fraction), spread across the family, and different between
+// families with different seeds. The returned indices are sorted and
+// distinct. n <= 0 yields nil; fraction >= 1 selects every position.
+func SpotChecks(seed uint64, n int, fraction float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := int(math.Round(fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	off := int(seed % uint64(n))
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, (off+i*n/k)%n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Seed hashes a stable family label (e.g. the family key's signature
+// label plus the axis name) into a spot-check seed. FNV-1a keeps it
+// dependency-free and identical across processes, so shard workers and
+// the coordinator agree on which points get spot-replayed.
+func Seed(label string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return h.Sum64()
+}
+
+// RelErr is the relative error of a prediction against the exact value:
+// |pred-actual| / |actual|. An exact zero actual with a nonzero
+// prediction reports +Inf (always beyond any finite bound); zero against
+// zero is 0.
+func RelErr(pred, actual float64) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// admissible downgrades a transform to Linear when the data leaves its
+// domain.
+func admissible(vs []float64, tf Transform) Transform {
+	switch tf {
+	case Log:
+		for _, v := range vs {
+			if v <= 0 {
+				return Linear
+			}
+		}
+	case Reciprocal:
+		for _, v := range vs {
+			if v == 0 {
+				return Linear
+			}
+		}
+	}
+	return tf
+}
+
+// transform maps the coordinates into the interpolation space.
+func transform(vs []float64, tf Transform) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		switch tf {
+		case Log:
+			out[i] = math.Log(v)
+		case Reciprocal:
+			out[i] = 1 / v
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// invert maps one interpolated value back from the transform space.
+func invert(u float64, tf Transform) float64 {
+	switch tf {
+	case Log:
+		return math.Exp(u)
+	case Reciprocal:
+		return 1 / u
+	default:
+		return u
+	}
+}
+
+// nearest returns the index of the value in u closest to t.
+func nearest(u []float64, t float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, v := range u {
+		d := math.Abs(v - t)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

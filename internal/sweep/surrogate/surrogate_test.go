@@ -1,0 +1,351 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnchorCount(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 3}, {6, 3}, {8, 3},
+		{16, 4}, {32, 5}, {64, 6}, {128, 7}, {512, 9},
+	}
+	for _, c := range cases {
+		if got := AnchorCount(c.n); got != c.want {
+			t.Errorf("AnchorCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+		if c.n >= 6 {
+			// The whole point: anchors must stay well under the 25% replay
+			// budget for realistic family sizes.
+			if frac := float64(AnchorCount(c.n)) / float64(c.n); frac > 0.5 {
+				t.Errorf("AnchorCount(%d) fraction %.2f too high", c.n, frac)
+			}
+		}
+	}
+}
+
+func logGrid(n int, lo, ratio float64) []float64 {
+	xs := make([]float64, n)
+	x := lo
+	for i := range xs {
+		xs[i] = x
+		x *= ratio
+	}
+	return xs
+}
+
+func TestAnchorsEndpointsAndSpread(t *testing.T) {
+	xs := logGrid(16, 1, 2) // 1, 2, 4, ... 32768
+	anchors := Anchors(xs, Log, AnchorCount(len(xs)))
+	if anchors[0] != 0 || anchors[len(anchors)-1] != len(xs)-1 {
+		t.Fatalf("anchors %v must include both endpoints", anchors)
+	}
+	for i := 1; i < len(anchors); i++ {
+		if anchors[i] <= anchors[i-1] {
+			t.Fatalf("anchors %v not strictly increasing", anchors)
+		}
+	}
+	// On a log-spaced grid with log-x targeting, interior anchors are
+	// evenly spread in index space.
+	if len(anchors) != 4 {
+		t.Fatalf("anchors %v, want 4 for n=16", anchors)
+	}
+}
+
+func TestAnchorsSmallAndDegenerate(t *testing.T) {
+	if got := Anchors(nil, Linear, 3); got != nil {
+		t.Fatalf("Anchors(nil) = %v", got)
+	}
+	if got := Anchors([]float64{1, 2}, Linear, 5); len(got) != 2 {
+		t.Fatalf("count >= n must return all indices, got %v", got)
+	}
+}
+
+func TestWithKnee(t *testing.T) {
+	n := 16
+	anchors := []int{0, 5, 10, 15}
+	got := WithKnee(anchors, n, 7)
+	want := []int{0, 7, 10, 15} // 5 is nearest interior to 7
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WithKnee = %v, want %v", got, want)
+		}
+	}
+	// Already an anchor: unchanged.
+	got = WithKnee(anchors, n, 10)
+	if len(got) != len(anchors) {
+		t.Fatalf("WithKnee on existing anchor changed set: %v", got)
+	}
+	// Endpoints survive.
+	got = WithKnee([]int{0, 15}, n, 1)
+	if got[0] != 0 || got[len(got)-1] != 15 {
+		t.Fatalf("WithKnee gave up an endpoint: %v", got)
+	}
+	// Out of range: unchanged.
+	if got := WithKnee(anchors, n, -1); len(got) != len(anchors) {
+		t.Fatalf("out-of-range knee changed set: %v", got)
+	}
+}
+
+// TestInterpolateReciprocalExact is the load-bearing property of the
+// bandwidth axis: replay time is affine in 1/bandwidth (compute +
+// volume/bw), and Reciprocal-x interpolation reconstructs such a surface
+// exactly from any two anchors per segment.
+func TestInterpolateReciprocalExact(t *testing.T) {
+	xs := logGrid(16, 1e6, 2)
+	truth := func(x float64) float64 { return 3e3 + 5e9/x }
+	anchors := Anchors(xs, Log, AnchorCount(len(xs)))
+	ys := make([]float64, len(anchors))
+	for k, a := range anchors {
+		ys[k] = truth(xs[a])
+	}
+	out := Interpolate(xs, anchors, ys, Reciprocal, Linear)
+	for i, x := range xs {
+		if e := RelErr(out[i], truth(x)); e > 1e-9 {
+			t.Fatalf("point %d rel err %g: reciprocal interpolation must be exact on affine-in-1/x surfaces", i, e)
+		}
+	}
+}
+
+// TestInterpolateLatencyLinearExact mirrors the latency axis: time is
+// affine in latency, and Linear-x interpolation is exact there.
+func TestInterpolateLatencyLinearExact(t *testing.T) {
+	xs := []float64{1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000}
+	truth := func(x float64) float64 { return 1e6 + 40*x }
+	anchors := []int{0, 3, 7}
+	ys := make([]float64, len(anchors))
+	for k, a := range anchors {
+		ys[k] = truth(xs[a])
+	}
+	out := Interpolate(xs, anchors, ys, Linear, Linear)
+	for i, x := range xs {
+		if e := RelErr(out[i], truth(x)); e > 1e-12 {
+			t.Fatalf("point %d rel err %g: linear interpolation must be exact on affine surfaces", i, e)
+		}
+	}
+}
+
+func TestInterpolateExactAtAnchorsAndMonotone(t *testing.T) {
+	xs := logGrid(16, 1e6, 2)
+	// A smooth monotone decreasing surface, like replay time vs bandwidth.
+	truth := func(x float64) float64 { return 5e9/x + 3e3 }
+	anchors := Anchors(xs, Log, 5)
+	ys := make([]float64, len(anchors))
+	for k, a := range anchors {
+		ys[k] = truth(xs[a])
+	}
+	out := Interpolate(xs, anchors, ys, Log, Log)
+	for k, a := range anchors {
+		if out[a] != ys[k] {
+			t.Fatalf("anchor %d not exact: %g != %g", a, out[a], ys[k])
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1] {
+			t.Fatalf("interpolant not monotone at %d: %g > %g", i, out[i], out[i-1])
+		}
+	}
+}
+
+func TestInterpolateLinearFallback(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4} // x=0 forbids log-x and reciprocal-x
+	ys := []float64{10, 0, 2}      // y=0 forbids log-y
+	anchors := []int{0, 2, 4}
+	out := Interpolate(xs, anchors, ys, Log, Log)
+	if out[1] != 5 || out[3] != 1 {
+		t.Fatalf("linear fallback wrong: %v", out)
+	}
+	out = Interpolate(xs, anchors, ys, Reciprocal, Linear)
+	if out[1] != 5 || out[3] != 1 {
+		t.Fatalf("reciprocal fallback wrong: %v", out)
+	}
+}
+
+func TestInterpolateSingleAnchor(t *testing.T) {
+	out := Interpolate([]float64{1, 2, 3}, []int{1}, []float64{7}, Linear, Linear)
+	for _, v := range out {
+		if v != 7 {
+			t.Fatalf("single anchor should broadcast: %v", out)
+		}
+	}
+}
+
+// TestSegmentRisksFlagInteriorBend: a max-like knee strictly inside a
+// segment disagrees with both neighbouring extensions and is flagged; the
+// same knee sitting exactly on an anchor leaves every segment straight and
+// scores (near) zero.
+func TestSegmentRisksFlagInteriorBend(t *testing.T) {
+	xs := logGrid(16, 1e6, 2)
+	// Bend where 5e9/x crosses the floor: x = 2.5e8, near grid position 8.
+	truth := func(x float64) float64 { return math.Max(20, 5e9/x) }
+	eval := func(anchors []int) []float64 {
+		ys := make([]float64, len(anchors))
+		for k, a := range anchors {
+			ys[k] = truth(xs[a])
+		}
+		return SegmentRisks(xs, anchors, [][]float64{ys}, Reciprocal)
+	}
+	// Anchors bracketing the bend without touching it: the bend sits
+	// inside segment (5,11) and that segment must dominate the risk.
+	// (The leading anchors keep the edge segments' extensions straight —
+	// an edge segment has only one extension, and one that crosses the
+	// bend inflates its risk: conservative, but not what this asserts.)
+	risks := eval([]int{0, 2, 5, 11, 15})
+	worst, worstSeg := 0.0, -1
+	for seg, r := range risks {
+		if r > worst {
+			worst, worstSeg = r, seg
+		}
+	}
+	if worstSeg != 2 || worst < 0.05 {
+		t.Fatalf("risks %v: the bend segment (2) should dominate with real risk", risks)
+	}
+	// The same surface anchored on the bend's grid position: every
+	// segment is (near) straight in 1/x and risk collapses.
+	for seg, r := range eval([]int{0, 5, 8, 11, 15}) {
+		if r > 0.02 {
+			t.Fatalf("segment %d risk %g despite on-anchor bend", seg, r)
+		}
+	}
+	// A perfectly affine-in-1/x surface scores zero everywhere.
+	flat := func(x float64) float64 { return 3e3 + 5e9/x }
+	anchors := []int{0, 5, 10, 15}
+	ys := make([]float64, len(anchors))
+	for k, a := range anchors {
+		ys[k] = flat(xs[a])
+	}
+	for seg, r := range SegmentRisks(xs, anchors, [][]float64{ys}, Reciprocal) {
+		if r > 1e-9 {
+			t.Fatalf("affine surface: segment %d risk %g", seg, r)
+		}
+	}
+}
+
+// TestRefineCandidateBisectsRiskiestSegment: the returned position lands
+// strictly inside the riskiest segment, and iterating replay-and-insert
+// drives both the estimated risk and the true interpolation error down —
+// the convergence property the adaptive refinement loop relies on. (A
+// single step may transiently *raise* the estimate as the midpoint closes
+// in on a kink; only the iterated loop must converge.)
+func TestRefineCandidateBisectsRiskiestSegment(t *testing.T) {
+	xs := logGrid(16, 1e6, 2)
+	truth := func(x float64) float64 { return math.Max(20, 5e9/x) }
+	anchors := []int{0, 2, 5, 11, 15}
+	ys := make([]float64, len(anchors))
+	for k, a := range anchors {
+		ys[k] = truth(xs[a])
+	}
+	pos, risk := RefineCandidate(xs, anchors, [][]float64{ys}, Reciprocal)
+	if pos <= 5 || pos >= 11 {
+		t.Fatalf("candidate %d not inside the bend segment (5,11)", pos)
+	}
+	if risk < 0.05 {
+		t.Fatalf("risk %g too small for a knee segment", risk)
+	}
+	for steps := 0; steps < 8; steps++ {
+		p, r := RefineCandidate(xs, anchors, [][]float64{ys}, Reciprocal)
+		if p < 0 || r <= 0.01 {
+			break
+		}
+		k := 0
+		for k < len(anchors) && anchors[k] < p {
+			k++
+		}
+		anchors = append(anchors[:k], append([]int{p}, anchors[k:]...)...)
+		ys = append(ys[:k], append([]float64{truth(xs[p])}, ys[k:]...)...)
+	}
+	if _, r := RefineCandidate(xs, anchors, [][]float64{ys}, Reciprocal); r > 0.01 {
+		t.Fatalf("iterated refinement did not converge: residual risk %g with anchors %v", r, anchors)
+	}
+	out := Interpolate(xs, anchors, ys, Reciprocal, Linear)
+	for i, x := range xs {
+		if e := RelErr(out[i], truth(x)); e > 0.02 {
+			t.Fatalf("after refinement, point %d still has rel err %g", i, e)
+		}
+	}
+	// Fewer than three anchors: no estimate possible.
+	if pos, risk := RefineCandidate(xs, []int{0, 15}, [][]float64{{1, 2}}, Linear); pos != -1 || risk != 0 {
+		t.Fatalf("two anchors must yield no candidate, got (%d, %g)", pos, risk)
+	}
+	// Adjacent anchors everywhere: nothing to refine.
+	all := make([]int, len(xs))
+	vs := make([]float64, len(xs))
+	for i := range xs {
+		all[i] = i
+		vs[i] = truth(xs[i])
+	}
+	if pos, _ := RefineCandidate(xs, all, [][]float64{vs}, Reciprocal); pos != -1 {
+		t.Fatalf("fully anchored axis must yield no candidate, got %d", pos)
+	}
+}
+
+func TestSpotChecksDeterministicDistinctSorted(t *testing.T) {
+	a := SpotChecks(12345, 100, 0.05)
+	b := SpotChecks(12345, 100, 0.05)
+	if len(a) != 5 {
+		t.Fatalf("want 5 spot checks, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic: %v vs %v", a, b)
+		}
+	}
+	seen := map[int]bool{}
+	for i, v := range a {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid or duplicate index in %v", a)
+		}
+		seen[v] = true
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("not sorted: %v", a)
+		}
+	}
+	if c := SpotChecks(999, 100, 0.05); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] && c[3] == a[3] && c[4] == a[4] {
+		t.Fatalf("different seeds should usually pick different positions: %v vs %v", a, c)
+	}
+}
+
+func TestSpotChecksBounds(t *testing.T) {
+	if got := SpotChecks(1, 0, 0.5); got != nil {
+		t.Fatalf("n=0 should yield nil, got %v", got)
+	}
+	if got := SpotChecks(7, 10, 0); len(got) != 1 {
+		t.Fatalf("zero fraction still spot-checks once, got %v", got)
+	}
+	if got := SpotChecks(7, 4, 1.0); len(got) != 4 {
+		t.Fatalf("fraction 1 checks everything, got %v", got)
+	}
+	for n := 1; n <= 40; n++ {
+		for _, frac := range []float64{0.01, 0.05, 0.3, 0.9, 1} {
+			got := SpotChecks(uint64(n)*31, n, frac)
+			seen := map[int]bool{}
+			for _, v := range got {
+				if v < 0 || v >= n || seen[v] {
+					t.Fatalf("n=%d frac=%g: bad selection %v", n, frac, got)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSeedStable(t *testing.T) {
+	if Seed("a") == Seed("b") {
+		t.Fatal("different labels should hash differently")
+	}
+	if Seed("family|axis=bw") != Seed("family|axis=bw") {
+		t.Fatal("seed not stable")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(102, 100); math.Abs(e-0.02) > 1e-12 {
+		t.Fatalf("RelErr(102,100) = %g", e)
+	}
+	if e := RelErr(0, 0); e != 0 {
+		t.Fatalf("RelErr(0,0) = %g", e)
+	}
+	if e := RelErr(1, 0); !math.IsInf(e, 1) {
+		t.Fatalf("RelErr(1,0) = %g", e)
+	}
+}

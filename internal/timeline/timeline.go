@@ -224,6 +224,30 @@ func (b *Builder) StateDurations(now units.Time) [NumStates]units.Duration {
 // returned Timeline owns its interval and event slices — it stays valid
 // after the builder is Reset and reused.
 func (b *Builder) Finish(now units.Time) Timeline {
+	out, _, _ := b.FinishInto(now, nil, nil)
+	return out
+}
+
+// SnapshotBound returns upper bounds on the interval and event counts the
+// next Finish or FinishInto call would snapshot (closing an open interval
+// may append one entry or merge into the last). Callers building many
+// timelines sum the bounds to pre-size shared arenas so FinishInto never
+// grows them.
+func (b *Builder) SnapshotBound() (intervals, events int) {
+	n := len(b.line.Intervals)
+	if b.open {
+		n++
+	}
+	return n, len(b.line.Events)
+}
+
+// FinishInto is Finish appending the snapshot's backing data to the given
+// arenas instead of allocating per call, returning the grown arenas. The
+// returned Timeline's slices are capacity-clipped views into the arenas,
+// so later appends by the owner cannot alias them; arenas pre-sized via
+// SnapshotBound make a whole set of timelines cost two allocations. Nil
+// arenas reproduce Finish exactly.
+func (b *Builder) FinishInto(now units.Time, ivs []Interval, evs []Event) (Timeline, []Interval, []Event) {
 	if b.open {
 		b.close(now)
 	}
@@ -233,10 +257,14 @@ func (b *Builder) Finish(now units.Time) Timeline {
 	// indistinguishable from a fresh one's.
 	out.Intervals, out.Events = nil, nil
 	if len(b.line.Intervals) > 0 {
-		out.Intervals = append([]Interval(nil), b.line.Intervals...)
+		start := len(ivs)
+		ivs = append(ivs, b.line.Intervals...)
+		out.Intervals = ivs[start:len(ivs):len(ivs)]
 	}
 	if len(b.line.Events) > 0 {
-		out.Events = append([]Event(nil), b.line.Events...)
+		start := len(evs)
+		evs = append(evs, b.line.Events...)
+		out.Events = evs[start:len(evs):len(evs)]
 	}
-	return out
+	return out, ivs, evs
 }
